@@ -1,0 +1,151 @@
+package nova
+
+import (
+	"fmt"
+
+	"nova/graph"
+	"nova/internal/ligra"
+	"nova/internal/polygraph"
+	"nova/program"
+)
+
+// PolyGraphBaseline runs programs on the temporal-partitioning baseline
+// accelerator model. It implements program.Runner.
+type PolyGraphBaseline struct {
+	// OnChipBytes is the scratchpad capacity (default 32 MiB; scaled
+	// experiments shrink it to keep Table III slice counts).
+	OnChipBytes int64
+	// MemBandwidth is unified off-chip bandwidth in bytes/second
+	// (default 332.8 GB/s, the iso-bandwidth setting).
+	MemBandwidth float64
+	// ForceSlices overrides the computed slice count when positive.
+	ForceSlices int
+}
+
+// PolyGraphReport extends the engine-agnostic stats with the temporal-
+// partitioning breakdown of Figs. 2 and 6.
+type PolyGraphReport struct {
+	Props               []program.Prop
+	Stats               program.RunStats
+	ProcessingSeconds   float64
+	SwitchingSeconds    float64
+	InefficiencySeconds float64
+	SliceCount          int
+	Rounds              int
+	SlicePasses         int
+	EdgeBandwidthShare  float64
+}
+
+// GTEPS returns effective throughput against the graph's edge count.
+func (r *PolyGraphReport) GTEPS(g *graph.CSR) float64 {
+	if r.Stats.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / r.Stats.SimSeconds / 1e9
+}
+
+func (b *PolyGraphBaseline) config() polygraph.Config {
+	cfg := polygraph.DefaultConfig()
+	if b.OnChipBytes > 0 {
+		cfg.OnChipBytes = b.OnChipBytes
+	}
+	if b.MemBandwidth > 0 {
+		cfg.MemBandwidth = b.MemBandwidth
+	}
+	cfg.ForceSlices = b.ForceSlices
+	return cfg
+}
+
+// Run executes p on g under the PolyGraph model.
+func (b *PolyGraphBaseline) Run(p program.Program, g *graph.CSR) (*PolyGraphReport, error) {
+	res, err := polygraph.Run(b.config(), g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &PolyGraphReport{
+		Props:               res.Props,
+		Stats:               res.Stats,
+		ProcessingSeconds:   res.ProcessingSeconds,
+		SwitchingSeconds:    res.SwitchingSeconds,
+		InefficiencySeconds: res.InefficiencySeconds,
+		SliceCount:          res.SliceCount,
+		Rounds:              res.Rounds,
+		SlicePasses:         res.SlicePasses,
+		EdgeBandwidthShare:  res.EdgeBandwidthShare,
+	}, nil
+}
+
+// RunProgram implements program.Runner.
+func (b *PolyGraphBaseline) RunProgram(p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
+	rep, err := b.Run(p, g)
+	if err != nil {
+		return nil, program.RunStats{}, err
+	}
+	return rep.Props, rep.Stats, nil
+}
+
+var _ program.Runner = (*PolyGraphBaseline)(nil)
+
+// Software runs the Ligra-style shared-memory framework on the host and
+// reports wall-clock performance — the paper's software reference point.
+type Software struct {
+	// Threads bounds worker goroutines (0 = all cores).
+	Threads int
+}
+
+// SoftwareReport is the outcome of one software run.
+type SoftwareReport struct {
+	// Seconds is wall-clock time; EdgesTraversed counts update attempts.
+	Seconds        float64
+	EdgesTraversed int64
+	Iterations     int
+	// Dists/Labels/Scores hold workload-specific outputs (one non-nil).
+	Dists  []int64
+	Ranks  []float64
+	Scores []float64
+}
+
+// GTEPS returns traversed giga-edges per second.
+func (r *SoftwareReport) GTEPS() float64 {
+	if r.Seconds <= 0 {
+		return 0
+	}
+	return float64(r.EdgesTraversed) / r.Seconds / 1e9
+}
+
+func (s *Software) engine() *ligra.Engine {
+	e := ligra.NewEngine()
+	if s.Threads > 0 {
+		e.Threads = s.Threads
+	}
+	return e
+}
+
+// RunWorkload executes one of the five paper workloads by name ("bfs",
+// "sssp", "cc", "pr", "bc"). gT (the transpose) is required for bfs, pr
+// and bc; prIters configures PageRank.
+func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*SoftwareReport, error) {
+	e := s.engine()
+	switch name {
+	case "bfs":
+		d, r := e.BFS(g, gT, root)
+		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+	case "sssp":
+		d, r := e.SSSP(g, nil, root)
+		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+	case "cc":
+		d, r := e.CC(g)
+		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+	case "pr":
+		if prIters <= 0 {
+			prIters = 10
+		}
+		ranks, r := e.PR(g, gT, 0.85, prIters)
+		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Ranks: ranks}, nil
+	case "bc":
+		sc, r := e.BC(g, gT, root)
+		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Scores: sc}, nil
+	default:
+		return nil, fmt.Errorf("nova: unknown workload %q", name)
+	}
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the scaled dataset registry.
+//
+// Usage:
+//
+//	experiments -scale small|medium|full [-only fig4,tab1] [-markdown]
+//
+// Each experiment prints the same rows/series the paper reports, plus a
+// note recalling the paper's expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nova/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "dataset scale: small|medium|full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	scale, err := exp.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	ids := exp.IDs()
+	if *onlyFlag != "" {
+		ids = strings.Split(*onlyFlag, ",")
+		sort.Strings(ids)
+	}
+	fmt.Printf("NOVA reproduction experiments — scale=%s\n", scale)
+	for _, id := range ids {
+		runner, ok := exp.All[id]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		}
+		start := time.Now()
+		table, err := runner(scale)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		if *markdown {
+			table.Markdown(os.Stdout)
+		} else {
+			table.Render(os.Stdout)
+		}
+		fmt.Printf("  [%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

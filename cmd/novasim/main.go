@@ -1,0 +1,156 @@
+// Command novasim runs a single workload on a single engine and prints
+// the full metrics report — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	novasim -engine nova -workload sssp -graph twitter -gpns 2 -scale small
+//	novasim -engine polygraph -workload bfs -graph urand
+//	novasim -engine ligra -workload pr -graph road
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova"
+	"nova/graph"
+	"nova/internal/exp"
+	"nova/program"
+)
+
+func main() {
+	engine := flag.String("engine", "nova", "nova|polygraph|ligra")
+	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc")
+	graphName := flag.String("graph", "twitter", "road|twitter|friendster|host|urand")
+	scaleFlag := flag.String("scale", "small", "small|medium|full")
+	gpns := flag.Int("gpns", 1, "number of GPNs (nova engine)")
+	mapping := flag.String("mapping", "random", "random|interleave|load-balanced|locality")
+	spill := flag.String("spill", "overwrite", "overwrite|fifo")
+	fabric := flag.String("fabric", "hierarchical", "hierarchical|ideal")
+	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
+	verify := flag.Bool("verify", true, "check results against the sequential oracle")
+	graphFile := flag.String("graph-file", "", "load graph from an edge-list file instead of the registry")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
+	flag.Parse()
+
+	scale, err := exp.ParseScale(*scaleFlag)
+	check(err)
+	var d *exp.Dataset
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		check(err)
+		loaded, err := graph.ReadEdgeList(*graphFile, f)
+		f.Close()
+		check(err)
+		d = &exp.Dataset{Name: loaded.Name, Graph: loaded, Root: loaded.LargestOutDegreeVertex()}
+	} else {
+		d, err = exp.DatasetByName(scale, *graphName)
+		check(err)
+	}
+	g := d.Graph
+	var gT = d.Transpose()
+	if *workload == "cc" {
+		g = d.Sym()
+		gT = g
+	}
+	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
+		g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree())
+
+	switch *engine {
+	case "nova":
+		cfg := exp.NOVAConfig(scale, *gpns)
+		cfg.Mapping = *mapping
+		cfg.Spill = *spill
+		cfg.Fabric = *fabric
+		acc, err := nova.New(cfg)
+		check(err)
+		if *tracePath != "" {
+			if p := singleProgram(*workload, d, *prIters); p != nil {
+				f, err := os.Create(*tracePath)
+				check(err)
+				rep, err := acc.RunTraced(p, g, f)
+				check(f.Close())
+				check(err)
+				fmt.Printf("trace written to %s\n", *tracePath)
+				fmt.Printf("workload %s: %.3f ms simulated, %d edges traversed\n",
+					*workload, rep.Stats.SimSeconds*1e3, rep.Stats.EdgesTraversed)
+				return
+			}
+			check(fmt.Errorf("-trace supports single-phase workloads (bfs/sssp/cc/pr)"))
+		}
+		out, err := nova.RunWorkload(acc, *workload, g, gT, d.Root, *prIters)
+		check(err)
+		printOutcome(out)
+		if *verify && out.Props != nil && (*workload == "bfs" || *workload == "sssp" || *workload == "cc") {
+			check(nova.Verify(*workload, g, d.Root, out.Props))
+			fmt.Println("verified against sequential oracle: OK")
+		}
+	case "polygraph":
+		pg := exp.PGBaseline(scale)
+		out, err := nova.RunWorkload(pg, *workload, g, gT, d.Root, *prIters)
+		check(err)
+		if p := singleProgram(*workload, d, *prIters); p != nil {
+			rep, err := pg.Run(p, g)
+			if err == nil {
+				fmt.Printf("slices=%d passes=%d breakdown: proc=%.1f%% switch=%.1f%% ineff=%.1f%%\n",
+					rep.SliceCount, rep.SlicePasses,
+					100*rep.ProcessingSeconds/rep.Stats.SimSeconds,
+					100*rep.SwitchingSeconds/rep.Stats.SimSeconds,
+					100*rep.InefficiencySeconds/rep.Stats.SimSeconds)
+			}
+		}
+		printOutcome(out)
+	case "ligra":
+		sw := &nova.Software{}
+		rep, err := sw.RunWorkload(*workload, g, gT, d.Root, *prIters)
+		check(err)
+		fmt.Printf("wall time: %.3f ms, traversed %d edges, %.3f GTEPS, %d iterations\n",
+			rep.Seconds*1e3, rep.EdgesTraversed, rep.GTEPS(), rep.Iterations)
+	default:
+		check(fmt.Errorf("unknown engine %q", *engine))
+	}
+}
+
+// singleProgram rebuilds the one-phase program used for the PolyGraph
+// breakdown line (bc is two-phase and reported only via the outcome).
+func singleProgram(workload string, d *exp.Dataset, prIters int) program.Program {
+	switch workload {
+	case "bfs":
+		return program.NewBFS(d.Root)
+	case "sssp":
+		return program.NewSSSP(d.Root)
+	case "cc":
+		return program.NewCC()
+	case "pr":
+		return program.NewPageRank(0.85, prIters)
+	default:
+		return nil
+	}
+}
+
+func printOutcome(out *nova.Outcome) {
+	fmt.Printf("workload %s: %.3f ms simulated, %d edges traversed, %d messages (%.1f%% coalesced)\n",
+		out.Workload, out.Stats.SimSeconds*1e3, out.Stats.EdgesTraversed,
+		out.Stats.MessagesSent,
+		100*float64(out.Stats.MessagesCoalesced)/float64(max64(out.Stats.MessagesSent, 1)))
+	fmt.Printf("work efficiency %.3f, effective throughput %.3f GTEPS\n",
+		out.WorkEfficiency(), out.EffectiveGTEPS())
+	if out.Stats.Epochs > 0 {
+		fmt.Printf("BSP epochs: %d\n", out.Stats.Epochs)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "novasim:", err)
+		os.Exit(1)
+	}
+}

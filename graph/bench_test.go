@@ -1,0 +1,38 @@
+package graph
+
+import "testing"
+
+// BenchmarkGenRMAT measures Kronecker generation (dataset-build cost).
+func BenchmarkGenRMAT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		GenRMAT("bench", 14, 16, DefaultRMAT, 64, int64(i))
+	}
+}
+
+// BenchmarkTranspose measures CSR reversal (needed for BC and pull mode).
+func BenchmarkTranspose(b *testing.B) {
+	g := GenRMAT("bench", 15, 16, DefaultRMAT, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Transpose()
+	}
+}
+
+// BenchmarkSymmetrize measures the sort-based dedup used for CC inputs.
+func BenchmarkSymmetrize(b *testing.B) {
+	g := GenRMAT("bench", 14, 16, DefaultRMAT, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Symmetrize()
+	}
+}
+
+// BenchmarkPartitionLocality measures the RABBIT-like clustering cost the
+// paper's preprocessing-cost discussion worries about.
+func BenchmarkPartitionLocality(b *testing.B) {
+	g := GenRMAT("bench", 15, 16, DefaultRMAT, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionLocality(g, 8)
+	}
+}

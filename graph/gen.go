@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the synthetic stand-ins of the paper's inputs (Table III).
+// All generators are deterministic for a given seed.
+
+// GenUniform generates an Erdős–Rényi-style uniform random digraph with the
+// given average out-degree — the stand-in for the paper's Urand input.
+// Weights are uniform in [1, maxWeight].
+func GenUniform(name string, numVertices int, avgDegree float64, maxWeight uint32, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	m := int(float64(numVertices) * avgDegree)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		edges = append(edges, Edge{
+			Src:    VertexID(rng.Intn(numVertices)),
+			Dst:    VertexID(rng.Intn(numVertices)),
+			Weight: weight(rng, maxWeight),
+		})
+	}
+	return FromEdges(name, numVertices, edges)
+}
+
+// RMATParams are the Kronecker recursion probabilities. The GAP/Graph500
+// defaults (a=0.57, b=c=0.19) produce the heavy-tailed degree distribution
+// of social graphs like Twitter and Friendster.
+type RMATParams struct {
+	A, B, C float64
+}
+
+// DefaultRMAT is the Graph500 parameterization.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// GenRMAT generates a Kronecker (R-MAT) graph with 2^scale vertices and
+// approximately avgDegree out-edges per vertex. Vertex IDs are randomly
+// permuted so that the natural ordering carries no community structure —
+// matching how the paper's inputs are distributed "randomly" across PEs.
+func GenRMAT(name string, scale int, avgDegree float64, p RMATParams, maxWeight uint32, seed int64) *CSR {
+	if scale < 1 || scale > 30 {
+		panic(fmt.Sprintf("graph: GenRMAT scale %d out of range", scale))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 << scale
+	m := int(float64(n) * avgDegree)
+	perm := rng.Perm(n)
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		src, dst := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// top-left quadrant: no bits set
+			case r < p.A+p.B:
+				dst |= 1 << bit
+			case r < p.A+p.B+p.C:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges = append(edges, Edge{
+			Src:    VertexID(perm[src]),
+			Dst:    VertexID(perm[dst]),
+			Weight: weight(rng, maxWeight),
+		})
+	}
+	return FromEdges(name, n, edges)
+}
+
+// GenGrid generates a rows×cols 2D lattice with bidirectional edges between
+// orthogonal neighbours, dropping each edge pair with probability dropProb
+// to break the regularity — the stand-in for road networks (high diameter,
+// average degree ≈ 4·(1-dropProb), like the paper's RoadUSA at ~2.4 with
+// dropProb ≈ 0.39).
+func GenGrid(name string, rows, cols int, dropProb float64, maxWeight uint32, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	id := func(r, c int) VertexID { return VertexID(r*cols + c) }
+	edges := make([]Edge, 0, 4*n)
+	addBoth := func(a, b VertexID) {
+		if rng.Float64() < dropProb {
+			return
+		}
+		w := weight(rng, maxWeight)
+		edges = append(edges, Edge{Src: a, Dst: b, Weight: w}, Edge{Src: b, Dst: a, Weight: w})
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				addBoth(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				addBoth(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return FromEdges(name, n, edges)
+}
+
+// GenRMATN is GenRMAT for an arbitrary vertex count: endpoints are drawn
+// by the Kronecker recursion over the next power of two and rejected when
+// they land past numVertices. The heavy-tailed shape is preserved; exact
+// quadrant probabilities shift slightly, which is irrelevant for the
+// scaled stand-ins.
+func GenRMATN(name string, numVertices int, avgDegree float64, p RMATParams, maxWeight uint32, seed int64) *CSR {
+	if numVertices < 2 {
+		panic(fmt.Sprintf("graph: GenRMATN needs ≥2 vertices, got %d", numVertices))
+	}
+	scale := 1
+	for 1<<scale < numVertices {
+		scale++
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := int(float64(numVertices) * avgDegree)
+	perm := rng.Perm(numVertices)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		src, dst := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+			case r < p.A+p.B:
+				dst |= 1 << bit
+			case r < p.A+p.B+p.C:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src >= numVertices || dst >= numVertices {
+			continue
+		}
+		edges = append(edges, Edge{
+			Src:    VertexID(perm[src]),
+			Dst:    VertexID(perm[dst]),
+			Weight: weight(rng, maxWeight),
+		})
+	}
+	return FromEdges(name, numVertices, edges)
+}
+
+func weight(rng *rand.Rand, maxWeight uint32) uint32 {
+	if maxWeight <= 1 {
+		return 1
+	}
+	return 1 + uint32(rng.Intn(int(maxWeight)))
+}

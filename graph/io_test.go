@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment
+% another comment
+0 1 5
+1 2
+2 0 3
+
+3 3 1
+`
+	g, err := ReadEdgeList("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Missing weight defaults to 1.
+	if w := g.EdgeWeights(1)[0]; w != 1 {
+		t.Fatalf("default weight = %d", w)
+	}
+	for _, bad := range []string{"0", "x 1", "0 y", "0 1 z", "0 1 0"} {
+		if _, err := ReadEdgeList("t", strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed line %q accepted", bad)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := FromEdges("t", n, randEdges(rng, n, rng.Intn(150)))
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		back, err := ReadEdgeList("t", &buf)
+		if err != nil {
+			return false
+		}
+		// The read-back graph may have fewer vertices (trailing isolated
+		// vertices have no edges); edges must match exactly.
+		a, b := g.Edges(), back.Edges()
+		if len(a) != len(b) {
+			return false
+		}
+		sortEdges(a)
+		sortEdges(b)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		g := FromEdges("t", n, randEdges(rng, n, rng.Intn(300)))
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			return false
+		}
+		back, err := ReadBinary("t", &buf)
+		if err != nil {
+			return false
+		}
+		if back.NumVertices() != g.NumVertices() || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.RowPtr {
+			if g.RowPtr[i] != back.RowPtr[i] {
+				return false
+			}
+		}
+		for i := range g.Dst {
+			if g.Dst[i] != back.Dst[i] || g.Weight[i] != back.Weight[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsCorruption(t *testing.T) {
+	g := GenUniform("t", 50, 4, 8, 1)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadBinary("t", bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated.
+	if _, err := ReadBinary("t", bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Out-of-range destination: corrupt a Dst entry to a huge value.
+	bad = append([]byte(nil), good...)
+	dstOff := 24 + 8*(g.NumVertices()+1)
+	for i := 0; i < 4; i++ {
+		bad[dstOff+i] = 0xFF
+	}
+	if _, err := ReadBinary("t", bytes.NewReader(bad)); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"nova/graph"
+	"nova/internal/mem"
+	"nova/internal/sim"
+	"nova/program"
+)
+
+// PE is one processing element: a message-driven processor owning a
+// contiguous slice of the vertex set (in local "slots"), its own HBM2
+// vertex channel and cache (MPU), a vertex management unit (VMU), and a
+// message generation unit (MGU) streaming edges from the GPN's shared
+// DDR4 channels.
+type PE struct {
+	sys *System
+	id  int // global PE index
+	gpn int
+
+	// Vertex placement: localVerts[slot] = global vertex ID.
+	localVerts []graph.VertexID
+
+	// Edge storage: the out-edges of local vertices, concatenated in
+	// slot order. localRowPtr is indexed by slot.
+	localRowPtr []int64
+	edgeDst     []graph.VertexID
+	edgeWgt     []uint32
+	edgeBase    uint64 // byte offset of this PE's region in GPN edge space
+
+	vchan *mem.Channel
+	cache *mem.Cache
+	vmu   *VMU
+
+	// MPU state.
+	inbox       []program.Message
+	inboxHead   int
+	pendingFill map[uint64][]program.Message // block addr -> waiting messages
+	redSlot     sim.Ticks
+	redUsed     int
+
+	// MGU state.
+	mguInflight int
+	sendBuckets [][]program.Message
+	fifoTick    uint64
+	// edgesOut counts propagations this PE generated (load accounting).
+	edgesOut int64
+}
+
+func (pe *PE) numBlocks() int {
+	cfg := &pe.sys.cfg
+	bytes := len(pe.localVerts) * cfg.VertexBytes
+	n := (bytes + cfg.BlockBytes - 1) / cfg.BlockBytes
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// vaddr returns the PE-local byte address of a vertex record.
+func (pe *PE) vaddr(v graph.VertexID) uint64 {
+	return uint64(pe.sys.slot[v]) * uint64(pe.sys.cfg.VertexBytes)
+}
+
+func (pe *PE) blockAddrOf(addr uint64) uint64 {
+	bb := uint64(pe.sys.cfg.BlockBytes)
+	return addr / bb * bb
+}
+
+func (pe *PE) vertexBlockAddr(v graph.VertexID) uint64 {
+	return pe.blockAddrOf(pe.vaddr(v))
+}
+
+func (pe *PE) blockIndex(blockAddr uint64) int {
+	return int(blockAddr / uint64(pe.sys.cfg.BlockBytes))
+}
+
+// blockSlots returns the slot range [lo, hi) covered by a block.
+func (pe *PE) blockSlots(blockAddr uint64) (int, int) {
+	cfg := &pe.sys.cfg
+	perBlock := cfg.BlockBytes / cfg.VertexBytes
+	lo := int(blockAddr) / cfg.VertexBytes
+	hi := lo + perBlock
+	if hi > len(pe.localVerts) {
+		hi = len(pe.localVerts)
+	}
+	return lo, hi
+}
+
+// blockHasActive reports whether any vertex in the block is flagged active
+// and not already queued in the active buffer.
+func (pe *PE) blockHasActive(blockAddr uint64) bool {
+	lo, hi := pe.blockSlots(blockAddr)
+	for s := lo; s < hi; s++ {
+		if pe.sys.activeFlag[pe.localVerts[s]] {
+			return true
+		}
+	}
+	return false
+}
+
+// fifoSpillAddr returns a rotating off-chip address for FIFO-policy spill
+// traffic (a dedicated region past the vertex set).
+func (pe *PE) fifoSpillAddr() uint64 {
+	base := uint64(pe.numBlocks()) * uint64(pe.sys.cfg.BlockBytes)
+	pe.fifoTick++
+	return base + (pe.fifoTick*16)%(1<<20)
+}
+
+// --- Message processing unit -------------------------------------------
+
+// deliver appends incoming messages and pumps the MPU.
+func (pe *PE) deliver(msgs []program.Message) {
+	pe.inbox = append(pe.inbox, msgs...)
+	pe.pumpMPU()
+}
+
+// nextReduceSlot allocates the next cycle with a free reduce FU.
+func (pe *PE) nextReduceSlot() sim.Ticks {
+	now := pe.sys.eng.Now() + 1
+	if pe.redSlot < now {
+		pe.redSlot = now
+		pe.redUsed = 0
+	}
+	if pe.redUsed >= pe.sys.cfg.ReduceFUs {
+		pe.redSlot++
+		pe.redUsed = 0
+	}
+	pe.redUsed++
+	return pe.redSlot
+}
+
+// pumpMPU processes inbox messages: cache hits reduce after an FU slot;
+// misses allocate an MSHR (merging secondary misses to the same block) and
+// reduce when the vertex block returns from HBM.
+func (pe *PE) pumpMPU() {
+	cfg := &pe.sys.cfg
+	eng := pe.sys.eng
+	for pe.inboxHead < len(pe.inbox) {
+		msg := pe.inbox[pe.inboxHead]
+		addr := pe.vaddr(msg.Dst)
+		block := pe.blockAddrOf(addr)
+		if pe.cache.Access(addr) {
+			pe.inboxHead++
+			m := msg
+			eng.ScheduleAt(pe.nextReduceSlot(), func() { pe.finishReduce(m) })
+			continue
+		}
+		if waiters, ok := pe.pendingFill[block]; ok {
+			pe.inboxHead++
+			pe.pendingFill[block] = append(waiters, msg)
+			continue
+		}
+		if len(pe.pendingFill) >= cfg.MSHRs {
+			break // back-pressure: retry when an MSHR frees
+		}
+		pe.inboxHead++
+		pe.pendingFill[block] = []program.Message{msg}
+		b := block
+		pe.vchan.Access(mem.Request{
+			Addr:  b,
+			Bytes: cfg.BlockBytes,
+			Kind:  mem.UsefulRead,
+			Done:  func() { pe.fillDone(b) },
+		})
+	}
+	if pe.inboxHead == len(pe.inbox) {
+		pe.inbox = pe.inbox[:0]
+		pe.inboxHead = 0
+	} else if pe.inboxHead > 4096 && pe.inboxHead*2 >= len(pe.inbox) {
+		pe.inbox = append(pe.inbox[:0:0], pe.inbox[pe.inboxHead:]...)
+		pe.inboxHead = 0
+	}
+}
+
+func (pe *PE) fillDone(block uint64) {
+	pe.cache.Fill(block) // eviction hook: write-back + tracker update
+	waiters := pe.pendingFill[block]
+	delete(pe.pendingFill, block)
+	eng := pe.sys.eng
+	for _, msg := range waiters {
+		m := msg
+		eng.ScheduleAt(pe.nextReduceSlot(), func() { pe.finishReduce(m) })
+	}
+	pe.pumpMPU() // an MSHR freed
+}
+
+// markDirty records the vertex write. If the block slipped out of the
+// cache while the reduce was in flight, charge a direct write-through.
+func (pe *PE) markDirty(addr uint64) {
+	if pe.cache.Contains(addr) {
+		pe.cache.MarkDirty(addr)
+		return
+	}
+	pe.vchan.Access(mem.Request{
+		Addr:  pe.blockAddrOf(addr),
+		Bytes: pe.sys.cfg.BlockBytes,
+		Kind:  mem.WriteAccess,
+	})
+}
+
+// finishReduce applies the reduce function — the blue block of
+// Algorithm 1 — and hands new activations to the VMU.
+func (pe *PE) finishReduce(msg program.Message) {
+	sys := pe.sys
+	v := msg.Dst
+	addr := pe.vaddr(v)
+	if sys.bsp != nil {
+		// BSP: accumulate into next_prop; activation happens at the
+		// barrier via Apply.
+		if !sys.touched[v] {
+			sys.touched[v] = true
+			sys.accum[v] = sys.bsp.AccumInit()
+			sys.touchedList = append(sys.touchedList, v)
+		} else {
+			sys.coalesced++
+		}
+		sys.accum[v] = sys.prog.Reduce(v, sys.accum[v], msg.Delta)
+		pe.markDirty(addr)
+	} else {
+		old := sys.props[v]
+		next := sys.prog.Reduce(v, old, msg.Delta)
+		changed := next != old
+		if sys.activeFlag[v] {
+			if changed && sys.cfg.Spill == SpillFIFO {
+				// Table I: the off-chip FIFO cannot coalesce — every
+				// further update appends a duplicate entry, later
+				// popped as a stale retrieval.
+				pe.vmu.onActivate(v)
+			} else {
+				sys.coalesced++
+			}
+		}
+		if changed {
+			sys.props[v] = next
+			pe.markDirty(addr)
+			if !sys.activeFlag[v] {
+				sys.activate(v)
+				pe.pumpMGU()
+			}
+		}
+	}
+	pe.pumpMPU()
+}
+
+// --- Message generation unit --------------------------------------------
+
+// pumpMGU pulls active blocks from the VMU, streams their edges from edge
+// memory, and generates messages — the red block of Algorithm 1.
+func (pe *PE) pumpMGU() {
+	cfg := &pe.sys.cfg
+	pe.vmu.maybePrefetch()
+	for pe.mguInflight < cfg.MGUPipelineDepth {
+		entry, ok := pe.vmu.popBuffer()
+		if !ok {
+			return
+		}
+		var verts []graph.VertexID
+		if cfg.Spill == SpillFIFO {
+			v := graph.VertexID(entry)
+			if !pe.sys.activeFlag[v] {
+				pe.vmu.stats.StaleRetrievals++
+				pe.vmu.maybePrefetch()
+				continue
+			}
+			verts = []graph.VertexID{v}
+		} else {
+			lo, hi := pe.blockSlots(entry)
+			for s := lo; s < hi; s++ {
+				gv := pe.localVerts[s]
+				if pe.sys.activeFlag[gv] {
+					verts = append(verts, gv)
+				}
+			}
+			if len(verts) == 0 {
+				pe.vmu.maybePrefetch()
+				continue
+			}
+		}
+		for _, v := range verts {
+			pe.sys.deactivate(v)
+		}
+		pe.launchPropagation(verts)
+		pe.vmu.maybePrefetch()
+	}
+}
+
+// launchPropagation fetches the edges of the given active vertices and,
+// when the stream arrives, generates their messages at PropagateFU rate.
+func (pe *PE) launchPropagation(verts []graph.VertexID) {
+	sys := pe.sys
+	cfg := &sys.cfg
+	var totalEdges int64
+	for _, v := range verts {
+		slot := int(sys.slot[v])
+		totalEdges += pe.localRowPtr[slot+1] - pe.localRowPtr[slot]
+	}
+	if totalEdges == 0 {
+		return
+	}
+	pe.mguInflight++
+	launchTick := sys.eng.Now()
+	pending := 0
+	started := false
+	finishOne := func() {
+		pending--
+		if pending == 0 && started {
+			pe.generateMessages(verts, totalEdges, launchTick)
+		}
+	}
+	// Merge the edge ranges of adjacent slots (vertices of one block are
+	// consecutive, so their edge arrays are contiguous): one burst per
+	// run instead of one access per vertex.
+	type span struct{ lo, hi int64 }
+	var spans []span
+	for _, v := range verts {
+		slot := int(sys.slot[v])
+		lo := pe.localRowPtr[slot]
+		hi := pe.localRowPtr[slot+1]
+		if lo == hi {
+			continue
+		}
+		if n := len(spans); n > 0 && spans[n-1].hi == lo {
+			spans[n-1].hi = hi
+			continue
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	for _, sp := range spans {
+		start := pe.edgeBase + uint64(sp.lo)*uint64(cfg.EdgeBytes)
+		end := pe.edgeBase + uint64(sp.hi)*uint64(cfg.EdgeBytes)
+		for start < end {
+			pageEnd := (start/edgePageBytes + 1) * edgePageBytes
+			if pageEnd > end {
+				pageEnd = end
+			}
+			ch := sys.edgeChans[pe.gpn][(start/edgePageBytes)%uint64(cfg.EdgeChannelsPerGPN)]
+			pending++
+			ch.Access(mem.Request{
+				Addr:  start,
+				Bytes: int(pageEnd - start),
+				Kind:  mem.UsefulRead,
+				Done:  finishOne,
+			})
+			start = pageEnd
+		}
+	}
+	started = true
+	if pending == 0 {
+		// All chunks completed synchronously (cannot happen — channel
+		// completions are always future events) — keep safe anyway.
+		pe.generateMessages(verts, totalEdges, launchTick)
+	}
+}
+
+// edgePageBytes is the interleave granularity across edge channels.
+const edgePageBytes = 4096
+
+// generateMessages applies the propagate function to every edge of the
+// batch, grouping messages by destination PE so each burst is one fabric
+// transfer, then frees the MGU pipeline slot.
+func (pe *PE) generateMessages(verts []graph.VertexID, totalEdges int64, launchTick sim.Ticks) {
+	sys := pe.sys
+	cfg := &sys.cfg
+	dur := sim.Ticks((totalEdges + int64(cfg.PropagateFUs) - 1) / int64(cfg.PropagateFUs))
+	if dur == 0 {
+		dur = 1
+	}
+	sys.eng.Schedule(dur, func() {
+		for _, v := range verts {
+			prop := sys.props[v]
+			if sys.selfUpd != nil {
+				// Delta-accumulative programs fold pending state into
+				// the vertex at propagation time (and the fold is a
+				// vertex write).
+				sys.props[v], prop = sys.selfUpd.OnPropagate(v, sys.props[v])
+				pe.markDirty(pe.vaddr(v))
+			}
+			if sys.prep != nil {
+				prop = sys.prep.PrepareProp(v, prop)
+			}
+			slot := int(sys.slot[v])
+			lo, hi := pe.localRowPtr[slot], pe.localRowPtr[slot+1]
+			outDeg := hi - lo
+			for i := lo; i < hi; i++ {
+				delta, ok := sys.prog.Propagate(prop, pe.edgeWgt[i], outDeg)
+				if !ok {
+					continue
+				}
+				sys.edgesTraversed++
+				sys.messagesSent++
+				pe.edgesOut++
+				dst := pe.edgeDst[i]
+				owner := sys.part.Owner[dst]
+				pe.sendBuckets[owner] = append(pe.sendBuckets[owner], program.Message{Dst: dst, Delta: delta})
+			}
+		}
+		for owner := range pe.sendBuckets {
+			batch := pe.sendBuckets[owner]
+			if len(batch) == 0 {
+				continue
+			}
+			msgs := make([]program.Message, len(batch))
+			copy(msgs, batch)
+			pe.sendBuckets[owner] = batch[:0]
+			target := sys.pes[owner]
+			if owner == pe.id {
+				sys.eng.Schedule(1, func() { target.deliver(msgs) })
+			} else {
+				sys.fabric.Send(pe.id, owner, len(msgs)*cfg.MessageBytes, func() { target.deliver(msgs) })
+			}
+		}
+		sys.tracer.Span("mgu", "propagate", pe.id, launchTick, sys.eng.Now())
+		pe.mguInflight--
+		pe.pumpMGU()
+	})
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nova/graph"
+	"nova/internal/mem"
+	"nova/internal/network"
+	"nova/internal/sim"
+	"nova/internal/trace"
+	"nova/program"
+)
+
+// System is one assembled NOVA machine bound to a graph and a spatial
+// partition. A System runs exactly one program; build a fresh one per run
+// (construction is cheap relative to simulation).
+type System struct {
+	cfg    Config
+	eng    *sim.Engine
+	g      *graph.CSR
+	part   *graph.Partition
+	fabric network.Fabric
+	pes    []*PE
+	// slot maps a global vertex to its local slot on its owner PE.
+	slot []int32
+	// edgeChans[gpn] are the DDR4 channels shared by that GPN's PEs.
+	edgeChans [][]*mem.Channel
+
+	// Functional state.
+	props       []program.Prop
+	accum       []program.Prop
+	touched     []bool
+	touchedList []graph.VertexID
+	activeFlag  []bool
+	activeCount int64
+
+	prog    program.Program
+	bsp     program.BSPProgram
+	sched   program.ScheduledProgram
+	prep    program.PropPreparer
+	selfUpd program.SelfUpdating
+
+	edgesTraversed int64
+	messagesSent   int64
+	coalesced      int64
+	drains         int64
+	epochs         int
+	ran            bool
+
+	// tracer is optional; a nil tracer records nothing.
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches an activity tracer. Call before Run.
+func (s *System) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// ErrDeadlock reports that the simulation stopped making progress while
+// active vertices remained — a violation of the design's deadlock-freedom
+// property, so always a model bug.
+var ErrDeadlock = errors.New("core: no progress with active vertices remaining")
+
+// NewSystem assembles a NOVA machine for the given graph. part must have
+// exactly cfg.TotalPEs() parts; pass nil to use random vertex assignment
+// (the paper's default).
+func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, errors.New("core: graph has no vertices")
+	}
+	if part == nil {
+		part = graph.PartitionRandom(g.NumVertices(), cfg.TotalPEs(), 1)
+	}
+	if part.Parts != cfg.TotalPEs() {
+		return nil, fmt.Errorf("core: partition has %d parts, system has %d PEs", part.Parts, cfg.TotalPEs())
+	}
+	if part.NumVertices() != g.NumVertices() {
+		return nil, fmt.Errorf("core: partition covers %d vertices, graph has %d", part.NumVertices(), g.NumVertices())
+	}
+	eng := sim.NewEngine()
+	s := &System{
+		cfg:        cfg,
+		eng:        eng,
+		g:          g,
+		part:       part,
+		slot:       make([]int32, g.NumVertices()),
+		props:      make([]program.Prop, g.NumVertices()),
+		activeFlag: make([]bool, g.NumVertices()),
+	}
+	switch cfg.Fabric {
+	case FabricIdeal:
+		s.fabric = network.NewIdeal(eng, cfg.P2P.Latency)
+	default:
+		s.fabric = network.NewHierarchical(eng, cfg.GPNs, cfg.PEsPerGPN, cfg.P2P, cfg.Crossbar)
+	}
+	s.edgeChans = make([][]*mem.Channel, cfg.GPNs)
+	for gpn := range s.edgeChans {
+		chans := make([]*mem.Channel, cfg.EdgeChannelsPerGPN)
+		for i := range chans {
+			c := cfg.EdgeChannel
+			c.Name = fmt.Sprintf("ddr4-g%d-c%d", gpn, i)
+			chans[i] = mem.NewChannel(eng, c)
+		}
+		s.edgeChans[gpn] = chans
+	}
+
+	total := cfg.TotalPEs()
+	s.pes = make([]*PE, total)
+	for id := 0; id < total; id++ {
+		vc := cfg.VertexChannel
+		vc.Name = fmt.Sprintf("hbm2-pe%d", id)
+		pe := &PE{
+			sys:         s,
+			id:          id,
+			gpn:         id / cfg.PEsPerGPN,
+			vchan:       mem.NewChannel(eng, vc),
+			cache:       mem.NewCache(cfg.CacheBytesPerPE, cfg.BlockBytes),
+			pendingFill: make(map[uint64][]program.Message),
+			sendBuckets: make([][]program.Message, total),
+		}
+		s.pes[id] = pe
+	}
+	// Place vertices: slot order is ascending global ID within each PE.
+	for v := 0; v < g.NumVertices(); v++ {
+		pe := s.pes[part.Owner[v]]
+		s.slot[v] = int32(len(pe.localVerts))
+		pe.localVerts = append(pe.localVerts, graph.VertexID(v))
+	}
+	// Build per-PE edge regions and wire VMUs + cache hooks.
+	gpnEdgeBytes := make([]uint64, cfg.GPNs)
+	for _, pe := range s.pes {
+		pe.localRowPtr = make([]int64, len(pe.localVerts)+1)
+		var m int64
+		for i, v := range pe.localVerts {
+			deg := g.OutDegree(v)
+			pe.localRowPtr[i] = m
+			m += deg
+		}
+		pe.localRowPtr[len(pe.localVerts)] = m
+		pe.edgeDst = make([]graph.VertexID, m)
+		pe.edgeWgt = make([]uint32, m)
+		var c int64
+		for _, v := range pe.localVerts {
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			copy(pe.edgeDst[c:], g.Dst[lo:hi])
+			copy(pe.edgeWgt[c:], g.Weight[lo:hi])
+			c += hi - lo
+		}
+		pe.edgeBase = gpnEdgeBytes[pe.gpn]
+		gpnEdgeBytes[pe.gpn] += uint64(m) * uint64(cfg.EdgeBytes)
+		pe.vmu = newVMU(pe)
+		vmu := pe.vmu
+		pe.cache.OnEvict = vmu.onEvict
+	}
+	return s, nil
+}
+
+// Engine exposes the simulation engine (mainly for tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+func (s *System) activate(v graph.VertexID) {
+	if s.activeFlag[v] {
+		return
+	}
+	s.activeFlag[v] = true
+	s.activeCount++
+	s.pes[s.part.Owner[v]].vmu.onActivate(v)
+}
+
+func (s *System) deactivate(v graph.VertexID) {
+	if !s.activeFlag[v] {
+		return
+	}
+	s.activeFlag[v] = false
+	s.activeCount--
+}
+
+func (s *System) inboxesEmpty() bool {
+	for _, pe := range s.pes {
+		if pe.inboxHead < len(pe.inbox) || len(pe.pendingFill) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// drainCaches flushes every PE cache so active vertices parked on-chip are
+// written back and tracked — the quiescence-boundary drain that preserves
+// the "every active vertex is in buffer ∨ cache ∨ tracker" invariant.
+func (s *System) drainCaches() {
+	for _, pe := range s.pes {
+		pe.cache.FlushAll()
+	}
+	for _, pe := range s.pes {
+		pe.vmu.maybePrefetch()
+		pe.pumpMGU()
+	}
+}
+
+// runToQuiescence runs the event loop, draining cached activations
+// whenever the machine stalls with work remaining.
+func (s *System) runToQuiescence(budget uint64) error {
+	for {
+		if err := s.eng.RunUntilQuiet(budget); err != nil {
+			return err
+		}
+		if s.activeCount == 0 && s.inboxesEmpty() {
+			return nil
+		}
+		before := s.eng.Executed()
+		s.drains++
+		s.tracer.Instant("system", "drain", -1, s.eng.Now())
+		s.tracer.Counter("active-vertices", s.eng.Now(), float64(s.activeCount))
+		s.drainCaches()
+		if err := s.eng.RunUntilQuiet(budget); err != nil {
+			return err
+		}
+		if s.eng.Executed() == before && (s.activeCount > 0 || !s.inboxesEmpty()) {
+			return ErrDeadlock
+		}
+		if s.activeCount == 0 && s.inboxesEmpty() {
+			return nil
+		}
+	}
+}
+
+// Run executes the program to completion and returns the result. A System
+// can run only once.
+func (s *System) Run(p program.Program) (*Result, error) {
+	if s.ran {
+		return nil, errors.New("core: System.Run called twice; build a fresh System per run")
+	}
+	s.ran = true
+	s.prog = p
+	if bp, ok := p.(program.BSPProgram); ok && p.Mode() == program.BSP {
+		s.bsp = bp
+	} else if p.Mode() == program.BSP {
+		return nil, fmt.Errorf("core: %s declares BSP mode but is not a BSPProgram", p.Name())
+	}
+	s.sched, _ = p.(program.ScheduledProgram)
+	s.prep, _ = p.(program.PropPreparer)
+	s.selfUpd, _ = p.(program.SelfUpdating)
+
+	for v := range s.props {
+		s.props[v] = p.InitProp(graph.VertexID(v), s.g)
+	}
+	budget := s.cfg.MaxEvents
+	if budget == 0 {
+		budget = 4_000_000_000
+	}
+
+	var err error
+	if s.bsp != nil {
+		err = s.runBSP(budget)
+	} else {
+		err = s.runAsync(budget)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.collectResult(), nil
+}
+
+func (s *System) runAsync(budget uint64) error {
+	init := s.prog.InitActive(s.g)
+	s.eng.Schedule(0, func() {
+		for _, v := range init {
+			s.activate(v)
+		}
+		for _, pe := range s.pes {
+			pe.pumpMGU()
+		}
+	})
+	return s.runToQuiescence(budget)
+}
+
+func (s *System) runBSP(budget uint64) error {
+	s.accum = make([]program.Prop, s.g.NumVertices())
+	s.touched = make([]bool, s.g.NumVertices())
+
+	inSet := make([]bool, s.g.NumVertices())
+	var active []graph.VertexID
+	add := func(v graph.VertexID) {
+		if !inSet[v] {
+			inSet[v] = true
+			active = append(active, v)
+		}
+	}
+	for _, v := range s.prog.InitActive(s.g) {
+		add(v)
+	}
+	if s.sched != nil {
+		for _, v := range s.sched.EpochActive(0, s.g) {
+			add(v)
+		}
+	}
+
+	for epoch := 0; len(active) > 0; epoch++ {
+		if m := s.bsp.MaxEpochs(); m > 0 && epoch >= m {
+			break
+		}
+		s.epochs++
+		// Inject the epoch's active set through the VMU and run the
+		// propagate→reduce pipeline to quiescence.
+		inject := append([]graph.VertexID(nil), active...)
+		for _, v := range inject {
+			inSet[v] = false
+		}
+		active = active[:0]
+		s.eng.Schedule(0, func() {
+			for _, v := range inject {
+				s.activate(v)
+			}
+			for _, pe := range s.pes {
+				pe.pumpMGU()
+			}
+		})
+		if err := s.runToQuiescence(budget); err != nil {
+			return err
+		}
+		s.tracer.Instant("bsp", "barrier", -1, s.eng.Now())
+		s.tracer.Counter("touched-vertices", s.eng.Now(), float64(len(s.touchedList)))
+		// Barrier: the apply sweep reads and rewrites every touched
+		// vertex record (bulk, sequential per PE).
+		touchedPerPE := make([]int64, len(s.pes))
+		for _, v := range s.touchedList {
+			touchedPerPE[s.part.Owner[v]]++
+		}
+		barrierEnd := s.eng.Now()
+		for i, pe := range s.pes {
+			bytes := touchedPerPE[i] * int64(s.cfg.VertexBytes)
+			if bytes == 0 {
+				continue
+			}
+			t := pe.vchan.BulkTransfer(bytes, mem.UsefulRead)
+			if t2 := pe.vchan.BulkTransfer(bytes, mem.WriteAccess); t2 > t {
+				t = t2
+			}
+			if t > barrierEnd {
+				barrierEnd = t
+			}
+		}
+		for _, v := range s.touchedList {
+			newProp, activateNext := s.bsp.Apply(v, s.props[v], s.accum[v], s.g)
+			s.props[v] = newProp
+			s.touched[v] = false
+			if activateNext {
+				add(v)
+			}
+		}
+		s.touchedList = s.touchedList[:0]
+		if s.sched != nil {
+			for _, v := range s.sched.EpochActive(epoch+1, s.g) {
+				add(v)
+			}
+		}
+		// Advance simulated time to the end of the apply sweep.
+		s.eng.Schedule(0, func() {})
+		if err := s.eng.Run(0, budget); err != nil {
+			return err
+		}
+		if barrierEnd > s.eng.Now() {
+			s.eng.ScheduleAt(barrierEnd, func() {})
+			if err := s.eng.Run(0, budget); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

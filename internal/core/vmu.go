@@ -1,0 +1,307 @@
+package core
+
+import (
+	"nova/graph"
+	"nova/internal/mem"
+)
+
+// bitset is a dense bit vector used for per-block tracker state.
+type bitset struct{ words []uint64 }
+
+func newBitset(n int) bitset { return bitset{words: make([]uint64, (n+63)/64)} }
+
+func (b bitset) get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b bitset) set(i int)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int)    { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// VMU is the vertex management unit (Section III-D): it mediates active
+// vertices between the MPU (producer) and the MGU (consumer), creating the
+// illusion of an active buffer as large as the off-chip vertex memory.
+//
+// On-chip state: one counter per superblock of the PE's vertex memory, a
+// FIFO active buffer holding prefetched blocks, and (for bookkeeping that
+// hardware derives from the vertex records themselves) per-block tracked /
+// in-buffer bits.
+type VMU struct {
+	pe *PE
+
+	// Tracker module (overwrite policy).
+	counters     []int32
+	tracked      bitset
+	inBuffer     bitset
+	trackedTotal int
+	scanOff      []int32 // per-superblock scan position, in blocks
+	sbCursor     int     // round-robin scan start over superblocks
+
+	// Active buffer: FIFO of block addresses (overwrite policy) or
+	// vertex IDs (FIFO policy).
+	buffer     []uint64
+	bufferHead int
+
+	inflightPrefetch int
+
+	// Off-chip FIFO (SpillFIFO policy): functional queue of vertex IDs.
+	fifo     []graph.VertexID
+	fifoHead int
+
+	stats VMUStats
+}
+
+// VMUStats instruments the trade-offs of Table I.
+type VMUStats struct {
+	// DirectPushes counts FIFO-policy activations that fit in the
+	// on-chip buffer without spilling. The overwrite policy routes every
+	// activation through the tracker (Listing 1), so it never pushes
+	// directly.
+	DirectPushes uint64
+	// Spills counts activations that overflowed to off-chip memory.
+	Spills uint64
+	// SpillWrites counts extra off-chip writes caused by spilling
+	// (always 0 for the overwrite policy; 1 per spill for the FIFO).
+	SpillWrites uint64
+	// PrefetchedBlocks counts blocks read back during recovery.
+	PrefetchedBlocks uint64
+	// PrefetchHits counts recovered blocks that held active vertices.
+	PrefetchHits uint64
+	// StaleRetrievals counts FIFO entries that were already propagated
+	// when popped (duplicate work the overwrite policy avoids).
+	StaleRetrievals uint64
+	// FIFOMaxDepth is the high-water mark of the off-chip FIFO.
+	FIFOMaxDepth int
+	// MetadataBytes is the explicit per-entry metadata the policy needs
+	// off-chip (vertex addresses for the FIFO policy).
+	MetadataBytes uint64
+}
+
+func newVMU(pe *PE) *VMU {
+	numBlocks := pe.numBlocks()
+	dim := pe.sys.cfg.SuperblockDim
+	numSB := (numBlocks + dim - 1) / dim
+	if numSB == 0 {
+		numSB = 1
+	}
+	return &VMU{
+		pe:       pe,
+		counters: make([]int32, numSB),
+		tracked:  newBitset(numBlocks),
+		inBuffer: newBitset(numBlocks),
+		scanOff:  make([]int32, numSB),
+		buffer:   make([]uint64, 0, pe.sys.cfg.ActiveBufferEntries),
+	}
+}
+
+func (u *VMU) bufferLen() int  { return len(u.buffer) - u.bufferHead }
+func (u *VMU) bufferFree() int { return u.pe.sys.cfg.ActiveBufferEntries - u.bufferLen() }
+
+func (u *VMU) pushBuffer(block uint64) {
+	u.buffer = append(u.buffer, block)
+	if u.pe.sys.cfg.Spill == SpillOverwrite {
+		u.inBuffer.set(u.pe.blockIndex(block))
+	}
+}
+
+func (u *VMU) popBuffer() (uint64, bool) {
+	if u.bufferLen() == 0 {
+		return 0, false
+	}
+	b := u.buffer[u.bufferHead]
+	u.bufferHead++
+	if u.bufferHead > 256 && u.bufferHead*2 >= len(u.buffer) {
+		u.buffer = append(u.buffer[:0], u.buffer[u.bufferHead:]...)
+		u.bufferHead = 0
+	}
+	if u.pe.sys.cfg.Spill == SpillOverwrite {
+		u.inBuffer.clear(u.pe.blockIndex(b))
+	}
+	return b, true
+}
+
+// onActivate handles a vertex transitioning inactive→active. The MPU calls
+// it right after a reduction; the BSP barrier calls it when injecting the
+// next epoch's active set.
+func (u *VMU) onActivate(v graph.VertexID) {
+	if u.pe.sys.cfg.Spill == SpillFIFO {
+		if u.bufferFree() > 0 {
+			u.pushBuffer(uint64(v))
+			u.stats.DirectPushes++
+		} else {
+			// Append to the off-chip FIFO: one extra write of the
+			// entry (vertex address + property).
+			u.fifo = append(u.fifo, v)
+			u.stats.Spills++
+			u.stats.SpillWrites++
+			u.stats.MetadataBytes += 8
+			if d := len(u.fifo) - u.fifoHead; d > u.stats.FIFOMaxDepth {
+				u.stats.FIFOMaxDepth = d
+			}
+			u.pe.vchan.Access(mem.Request{
+				Addr:  u.pe.fifoSpillAddr(),
+				Bytes: 16,
+				Kind:  mem.WriteAccess,
+			})
+		}
+		return
+	}
+	// Overwrite policy (Listing 1): the activation lives in the vertex
+	// record itself (active_now bit) and the tracker counter for its
+	// superblock is bumped immediately — the on-chip metadata update of
+	// track_as_active. If the block is already queued in the buffer or
+	// already tracked, the update rides along, coalescing across the
+	// whole recovery window. The vertex value itself spills with its
+	// cache block's write-back; the prefetcher recovers it later. That
+	// recovery delay is deliberate — it is what widens NOVA's
+	// update-coalescing window beyond any on-chip structure.
+	block := u.pe.vertexBlockAddr(v)
+	bi := u.pe.blockIndex(block)
+	if u.inBuffer.get(bi) || u.tracked.get(bi) {
+		return
+	}
+	u.stats.Spills++
+	u.track(bi)
+}
+
+func (u *VMU) track(bi int) {
+	if u.tracked.get(bi) {
+		return
+	}
+	u.tracked.set(bi)
+	u.trackedTotal++
+	u.counters[bi/u.pe.sys.cfg.SuperblockDim]++
+}
+
+func (u *VMU) untrack(bi int) {
+	if !u.tracked.get(bi) {
+		return
+	}
+	u.tracked.clear(bi)
+	u.trackedTotal--
+	u.counters[bi/u.pe.sys.cfg.SuperblockDim]--
+}
+
+// onEvict implements Listing 1's on_evict: when the cache evicts a block
+// containing a spilled active vertex, the tracker records its superblock.
+func (u *VMU) onEvict(blockAddr uint64, dirty bool) {
+	if dirty {
+		u.pe.vchan.Access(mem.Request{Addr: blockAddr, Bytes: u.pe.sys.cfg.BlockBytes, Kind: mem.WriteAccess})
+	}
+	if u.pe.sys.cfg.Spill != SpillOverwrite {
+		return
+	}
+	bi := u.pe.blockIndex(blockAddr)
+	if u.inBuffer.get(bi) || u.tracked.get(bi) {
+		return
+	}
+	if u.pe.blockHasActive(blockAddr) {
+		u.track(bi)
+	}
+}
+
+// maybePrefetch implements Listing 1's prefetch: when at least one batch of
+// buffer entries is free and active blocks are spilled, read PrefetchBatch
+// blocks from the next superblock with a nonzero counter. Blocks that turn
+// out inactive are wasted bandwidth (Fig. 10).
+func (u *VMU) maybePrefetch() {
+	cfg := u.pe.sys.cfg
+	if cfg.Spill == SpillFIFO {
+		u.fifoRefill()
+		return
+	}
+	for u.inflightPrefetch == 0 &&
+		u.bufferFree()-u.inflightPrefetch >= cfg.PrefetchBatch &&
+		u.trackedTotal > 0 {
+		sb := u.nextSuperblock()
+		if sb < 0 {
+			return
+		}
+		u.pe.sys.tracer.Instant("vmu", "prefetch-batch", u.pe.id, u.pe.sys.eng.Now())
+		start := u.scanOff[sb]
+		dim := int32(cfg.SuperblockDim)
+		numBlocks := int32(u.pe.numBlocks())
+		for k := int32(0); k < int32(cfg.PrefetchBatch); k++ {
+			bi := int32(sb)*dim + (start+k)%dim
+			if bi >= numBlocks {
+				continue
+			}
+			u.issueBlockRead(int(bi))
+		}
+		u.scanOff[sb] = (start + int32(cfg.PrefetchBatch)) % dim
+	}
+}
+
+func (u *VMU) nextSuperblock() int {
+	n := len(u.counters)
+	for i := 0; i < n; i++ {
+		sb := (u.sbCursor + i) % n
+		if u.counters[sb] > 0 {
+			u.sbCursor = sb
+			return sb
+		}
+	}
+	return -1
+}
+
+func (u *VMU) issueBlockRead(bi int) {
+	cfg := u.pe.sys.cfg
+	addr := uint64(bi) * uint64(cfg.BlockBytes)
+	kind := mem.WastefulRead
+	if u.tracked.get(bi) {
+		kind = mem.UsefulRead
+	}
+	u.inflightPrefetch++
+	u.stats.PrefetchedBlocks++
+	u.pe.vchan.Access(mem.Request{
+		Addr:  addr,
+		Bytes: cfg.BlockBytes,
+		Kind:  kind,
+		Done: func() {
+			u.inflightPrefetch--
+			if u.tracked.get(bi) {
+				u.untrack(bi)
+				u.stats.PrefetchHits++
+				u.pushBuffer(addr)
+			}
+			// Re-pump on every batch completion: even an all-miss batch
+			// must immediately trigger the next superblock scan, or the
+			// recovery pipeline stalls.
+			if u.inflightPrefetch == 0 {
+				u.pe.pumpMGU()
+			}
+		},
+	})
+}
+
+// fifoRefill pops spilled FIFO entries back into the on-chip buffer.
+func (u *VMU) fifoRefill() {
+	cfg := u.pe.sys.cfg
+	for u.bufferFree()-u.inflightPrefetch >= cfg.PrefetchBatch && u.fifoHead < len(u.fifo) && u.inflightPrefetch == 0 {
+		n := cfg.PrefetchBatch
+		if avail := len(u.fifo) - u.fifoHead; avail < n {
+			n = avail
+		}
+		for i := 0; i < n; i++ {
+			v := u.fifo[u.fifoHead]
+			u.fifoHead++
+			u.inflightPrefetch++
+			u.pe.vchan.Access(mem.Request{
+				Addr:  u.pe.fifoSpillAddr(),
+				Bytes: 16,
+				Kind:  mem.UsefulRead,
+				Done: func() {
+					u.inflightPrefetch--
+					u.pushBuffer(uint64(v))
+					u.pe.pumpMGU()
+				},
+			})
+		}
+		if u.fifoHead == len(u.fifo) {
+			u.fifo = u.fifo[:0]
+			u.fifoHead = 0
+		}
+	}
+}
+
+// pendingWork reports whether the VMU still holds or tracks activations.
+func (u *VMU) pendingWork() bool {
+	return u.bufferLen() > 0 || u.trackedTotal > 0 ||
+		u.inflightPrefetch > 0 || u.fifoHead < len(u.fifo)
+}

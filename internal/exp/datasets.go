@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"nova"
+	"nova/graph"
+)
+
+// Scale shrinks the dataset registry so experiments fit any time budget:
+// Full is the DESIGN.md registry (slice counts match the paper's
+// Table III exactly), Medium divides vertex counts by 4, Small by 16.
+type Scale int
+
+const (
+	// Small is the test/bench scale (seconds).
+	Small Scale = iota
+	// Medium is a minutes-scale sweep.
+	Medium
+	// Full is the complete scaled registry (tens of minutes).
+	Full
+)
+
+// ParseScale maps flag values to scales.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "full":
+		return Full, nil
+	default:
+		return Small, fmt.Errorf("exp: unknown scale %q (small|medium|full)", s)
+	}
+}
+
+func (s Scale) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "full"
+	}
+}
+
+// divisor returns the vertex-count divisor.
+func (s Scale) divisor() int {
+	switch s {
+	case Small:
+		return 16
+	case Medium:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// PolyGraphOnChip returns the scaled scratchpad capacity calibrated so
+// that ceil(4·V/cap) reproduces Table III's slice counts (3/5/8/13/16)
+// for the five datasets at every scale.
+func (s Scale) PolyGraphOnChip() int64 { return 129200 / int64(s.divisor()) }
+
+// CacheBytesPerPE returns the scaled MPU cache so the cache:vertex-set
+// ratio stays far below 1, as in the paper.
+func (s Scale) CacheBytesPerPE() int {
+	switch s {
+	case Small:
+		return 512
+	case Medium:
+		return 1 << 10
+	default:
+		return 2 << 10
+	}
+}
+
+// Dataset is one Table III stand-in.
+type Dataset struct {
+	Name  string
+	Graph *graph.CSR
+	// Root is the traversal source (highest out-degree vertex).
+	Root graph.VertexID
+	// PaperSlices is the Table III slice count this dataset must
+	// reproduce under the scaled PolyGraph capacity.
+	PaperSlices int
+
+	symOnce sync.Once
+	sym     *graph.CSR
+	trOnce  sync.Once
+	tr      *graph.CSR
+}
+
+// Sym returns the symmetrized graph (built lazily, cached).
+func (d *Dataset) Sym() *graph.CSR {
+	d.symOnce.Do(func() { d.sym = d.Graph.Symmetrize() })
+	return d.sym
+}
+
+// Transpose returns the transposed graph (built lazily, cached).
+func (d *Dataset) Transpose() *graph.CSR {
+	d.trOnce.Do(func() { d.tr = d.Graph.Transpose() })
+	return d.tr
+}
+
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string][]*Dataset{}
+)
+
+// Datasets returns the five Table III stand-ins at the given scale:
+// road (high-diameter grid), twitter/friendster/host (RMAT power-law with
+// the paper's average degrees) and urand (uniform random).
+func Datasets(s Scale) []*Dataset {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	if ds, ok := dsCache[s.String()]; ok {
+		return ds
+	}
+	d := s.divisor()
+	sq := 1
+	for sq*sq < d {
+		sq *= 2
+	}
+	build := []*Dataset{
+		{Name: "road", PaperSlices: 3,
+			Graph: graph.GenGrid("road", 340/sq, 272/sq, 0.39, 64, 11)},
+		{Name: "twitter", PaperSlices: 5,
+			Graph: graph.GenRMATN("twitter", 160000/d, 35, graph.DefaultRMAT, 64, 12)},
+		{Name: "friendster", PaperSlices: 8,
+			Graph: graph.GenRMATN("friendster", 252000/d, 27, graph.DefaultRMAT, 64, 13)},
+		{Name: "host", PaperSlices: 13,
+			Graph: graph.GenRMATN("host", 388000/d, 20, graph.DefaultRMAT, 64, 14)},
+		{Name: "urand", PaperSlices: 16,
+			Graph: graph.GenUniform("urand", 516000/d, 31, 64, 15)},
+	}
+	for _, ds := range build {
+		ds.Root = ds.Graph.LargestOutDegreeVertex()
+	}
+	dsCache[s.String()] = build
+	return build
+}
+
+// DatasetByName returns one registry entry.
+func DatasetByName(s Scale, name string) (*Dataset, error) {
+	for _, d := range Datasets(s) {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown dataset %q", name)
+}
+
+// WeakScalingGraph returns the RMAT graph for a weak-scaling point: the
+// problem size doubles with the GPN count (the paper's RMAT21–24 series).
+func WeakScalingGraph(s Scale, gpns int) *graph.CSR {
+	base := 14 // RMAT14 at full scale for 1 GPN
+	switch s {
+	case Small:
+		base = 10
+	case Medium:
+		base = 12
+	}
+	sc := base
+	for g := 1; g < gpns; g *= 2 {
+		sc++
+	}
+	return graph.GenRMAT(fmt.Sprintf("rmat%d", sc), sc, 16, graph.DefaultRMAT, 64, int64(20+sc))
+}
+
+// NOVAConfig returns the scaled NOVA system for the experiments: Table II
+// organization with the cache shrunk in proportion to the scaled graphs.
+func NOVAConfig(s Scale, gpns int) nova.Config {
+	cfg := nova.DefaultConfig()
+	cfg.GPNs = gpns
+	cfg.CacheBytesPerPE = s.CacheBytesPerPE()
+	return cfg
+}
+
+// PGBaseline returns the scaled PolyGraph baseline (iso-bandwidth:
+// 332.8 GB/s, matching one NOVA GPN's aggregate).
+func PGBaseline(s Scale) *nova.PolyGraphBaseline {
+	return &nova.PolyGraphBaseline{OnChipBytes: s.PolyGraphOnChip()}
+}

@@ -1,0 +1,170 @@
+package ligra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nova/graph"
+	"nova/internal/ref"
+)
+
+func randGraph(seed int64, n, m int) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: uint32(1 + rng.Intn(8)),
+		}
+	}
+	return graph.FromEdges("rand", n, edges)
+}
+
+func TestLigraBFSMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 300, 2000)
+		gT := g.Transpose()
+		root := g.LargestOutDegreeVertex()
+		got, res := NewEngine().BFS(g, gT, root)
+		want := ref.BFS(g, root)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return res.Seconds > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLigraBFSDensePath(t *testing.T) {
+	// A dense frontier (everything reachable in one hop) must force the
+	// pull path and still be correct.
+	n := 2000
+	edges := make([]graph.Edge, 0, 2*n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: graph.VertexID(i), Weight: 1})
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % n), Weight: 1})
+	}
+	g := graph.FromEdges("star+", n, edges)
+	gT := g.Transpose()
+	got, _ := NewEngine().BFS(g, gT, 0)
+	want := ref.BFS(g, 0)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: %d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestLigraSSSPMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 250, 1500)
+		root := g.LargestOutDegreeVertex()
+		got, _ := NewEngine().SSSP(g, nil, root)
+		want := ref.SSSP(g, root)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLigraCCMatchesOracle(t *testing.T) {
+	g := randGraph(4, 400, 1200).Symmetrize()
+	got, _ := NewEngine().CC(g)
+	want := ref.CC(g)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: label %d want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestLigraPRMatchesOracle(t *testing.T) {
+	g := graph.GenRMAT("r", 10, 8, graph.DefaultRMAT, 1, 5)
+	gT := g.Transpose()
+	got, res := NewEngine().PR(g, gT, 0.85, 8)
+	want := ref.PageRank(g, 0.85, 8)
+	for v := range want {
+		if math.Abs(got[v]-want[v]) > 1e-10 {
+			t.Fatalf("vertex %d: rank %v want %v", v, got[v], want[v])
+		}
+	}
+	if res.Iterations != 8 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestLigraBCMatchesBrandes(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randGraph(seed, 120, 500)
+		gT := g.Transpose()
+		root := g.LargestOutDegreeVertex()
+		got, _ := NewEngine().BC(g, gT, root)
+		want := ref.BC(g, root)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9*(1+math.Abs(want[v])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleThreadMatchesParallel(t *testing.T) {
+	g := randGraph(77, 500, 4000)
+	gT := g.Transpose()
+	root := g.LargestOutDegreeVertex()
+	e1 := NewEngine()
+	e1.Threads = 1
+	d1, _ := e1.BFS(g, gT, root)
+	e8 := NewEngine()
+	e8.Threads = 8
+	d8, _ := e8.BFS(g, gT, root)
+	for v := range d1 {
+		if d1[v] != d8[v] {
+			t.Fatalf("thread-count-dependent result at %d", v)
+		}
+	}
+}
+
+func TestFrontierRepresentations(t *testing.T) {
+	sp := NewSparseFrontier(10, []graph.VertexID{1, 5, 7})
+	if sp.Len() != 3 || sp.IsEmpty() {
+		t.Fatalf("sparse frontier len %d", sp.Len())
+	}
+	bits := make([]uint32, 10)
+	bits[2], bits[4] = 1, 1
+	dn := NewDenseFrontier(bits)
+	if dn.Len() != 2 {
+		t.Fatalf("dense frontier len %d", dn.Len())
+	}
+	vs := dn.Vertices()
+	if len(vs) != 2 || vs[0] != 2 || vs[1] != 4 {
+		t.Fatalf("dense Vertices = %v", vs)
+	}
+}
+
+func TestGTEPS(t *testing.T) {
+	r := Result{Seconds: 0.5, EdgesTraversed: 1e9}
+	if g := r.GTEPS(); g != 2.0 {
+		t.Fatalf("GTEPS = %v", g)
+	}
+	if (Result{}).GTEPS() != 0 {
+		t.Fatal("zero result GTEPS")
+	}
+}

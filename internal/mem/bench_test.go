@@ -1,0 +1,45 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"nova/internal/sim"
+)
+
+// BenchmarkChannelRandomAccess measures the HBM2 model under NOVA's
+// random vertex-access pattern.
+func BenchmarkChannelRandomAccess(b *testing.B) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, HBM2ChannelConfig("bench"))
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Access(Request{Addr: uint64(rng.Intn(1 << 26)), Bytes: 32, Kind: UsefulRead})
+		if i%1024 == 0 {
+			if err := eng.RunUntilQuiet(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCacheAccess measures the direct-mapped cache hot path.
+func BenchmarkCacheAccess(b *testing.B) {
+	c := NewCache(64<<10, 32)
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]uint64, 4096)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(1 << 22))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := addrs[i&4095]
+		if !c.Access(a) {
+			c.Fill(a)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package mem
+
+import "fmt"
+
+// Cache is the direct-mapped, write-back vertex cache inside each PE's
+// message processing unit (Section III-B). It is a structural bookkeeper:
+// it tracks which blocks are resident and dirty, and fires an eviction hook
+// so the vertex management unit can implement on_evict from Listing 1.
+// Timing for hits and misses is charged by the caller.
+type Cache struct {
+	blockBytes int
+	numLines   int
+	tags       []uint64
+	valid      []bool
+	dirty      []bool
+	stats      CacheStats
+
+	// OnEvict runs for every eviction (dirty or clean) with the evicted
+	// block's base address and its dirtiness; this is how active vertices
+	// spill to DRAM in NOVA.
+	OnEvict func(blockAddr uint64, dirty bool)
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// HitRate returns hits / (hits+misses), or 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCache builds a direct-mapped cache of the given total capacity and
+// block size. Both must be positive and capacity a multiple of blockBytes.
+func NewCache(capacityBytes, blockBytes int) *Cache {
+	if blockBytes <= 0 || capacityBytes <= 0 || capacityBytes%blockBytes != 0 {
+		panic(fmt.Sprintf("mem: invalid cache geometry %d/%d", capacityBytes, blockBytes))
+	}
+	n := capacityBytes / blockBytes
+	return &Cache{
+		blockBytes: blockBytes,
+		numLines:   n,
+		tags:       make([]uint64, n),
+		valid:      make([]bool, n),
+		dirty:      make([]bool, n),
+	}
+}
+
+// BlockBytes returns the cache line size.
+func (c *Cache) BlockBytes() int { return c.blockBytes }
+
+// Lines returns the number of cache lines.
+func (c *Cache) Lines() int { return c.numLines }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// BlockAddr returns the base address of the block containing addr.
+func (c *Cache) BlockAddr(addr uint64) uint64 {
+	return addr / uint64(c.blockBytes) * uint64(c.blockBytes)
+}
+
+func (c *Cache) line(addr uint64) (idx int, tag uint64) {
+	block := addr / uint64(c.blockBytes)
+	return int(block % uint64(c.numLines)), block
+}
+
+// Contains reports whether the block holding addr is resident, without
+// touching statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	idx, tag := c.line(addr)
+	return c.valid[idx] && c.tags[idx] == tag
+}
+
+// Access looks up addr, counting a hit or miss. On a hit it returns
+// (true, 0, false). On a miss it does NOT fill the line; the caller issues
+// the memory read and calls Fill at response time.
+func (c *Cache) Access(addr uint64) bool {
+	idx, tag := c.line(addr)
+	if c.valid[idx] && c.tags[idx] == tag {
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Fill installs the block containing addr, evicting any previous occupant
+// of its line. It returns the evicted block's address and dirtiness; the
+// OnEvict hook (if set) fires before the new block is installed, mirroring
+// the write-back + on_evict sequence of Listing 1.
+func (c *Cache) Fill(addr uint64) (evicted uint64, evictedDirty, hadEviction bool) {
+	idx, tag := c.line(addr)
+	if c.valid[idx] && c.tags[idx] == tag {
+		return 0, false, false // already resident (racing fills coalesce)
+	}
+	if c.valid[idx] {
+		hadEviction = true
+		evicted = c.tags[idx] * uint64(c.blockBytes)
+		evictedDirty = c.dirty[idx]
+		c.stats.Evictions++
+		if evictedDirty {
+			c.stats.DirtyEvictions++
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(evicted, evictedDirty)
+		}
+	}
+	c.tags[idx] = tag
+	c.valid[idx] = true
+	c.dirty[idx] = false
+	return evicted, evictedDirty, hadEviction
+}
+
+// MarkDirty marks the resident block containing addr as modified. It panics
+// if the block is not resident: writing through a non-resident line is a
+// protocol bug in the caller.
+func (c *Cache) MarkDirty(addr uint64) {
+	idx, tag := c.line(addr)
+	if !c.valid[idx] || c.tags[idx] != tag {
+		panic(fmt.Sprintf("mem: MarkDirty on non-resident block %#x", addr))
+	}
+	c.dirty[idx] = true
+}
+
+// Invalidate drops the block containing addr without firing OnEvict.
+// It returns whether the block was resident and dirty.
+func (c *Cache) Invalidate(addr uint64) (wasDirty bool) {
+	idx, tag := c.line(addr)
+	if c.valid[idx] && c.tags[idx] == tag {
+		wasDirty = c.dirty[idx]
+		c.valid[idx] = false
+		c.dirty[idx] = false
+	}
+	return wasDirty
+}
+
+// FlushAll evicts every resident block through OnEvict (the drain used at
+// quiescence boundaries so active vertices parked in the cache are tracked).
+func (c *Cache) FlushAll() {
+	for i := 0; i < c.numLines; i++ {
+		if !c.valid[i] {
+			continue
+		}
+		addr := c.tags[i] * uint64(c.blockBytes)
+		dirty := c.dirty[i]
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.stats.Evictions++
+		if dirty {
+			c.stats.DirtyEvictions++
+		}
+		if c.OnEvict != nil {
+			c.OnEvict(addr, dirty)
+		}
+	}
+}
+
+// ResidentBlocks calls fn with the base address of every resident block.
+func (c *Cache) ResidentBlocks(fn func(blockAddr uint64, dirty bool)) {
+	for i := 0; i < c.numLines; i++ {
+		if c.valid[i] {
+			fn(c.tags[i]*uint64(c.blockBytes), c.dirty[i])
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package mem provides timing models for the off-chip memories and the
+// per-PE vertex cache used by NOVA and the PolyGraph baseline.
+//
+// The models are timing-only: functional state (vertex properties, edge
+// arrays) lives in ordinary Go slices owned by the accelerator model, and
+// the memory models see only addresses and sizes. This mirrors the paper's
+// gem5 methodology, where validated DRAM timing models are driven by the
+// accelerator SimObjects.
+package mem
+
+import (
+	"fmt"
+
+	"nova/internal/sim"
+)
+
+// AccessKind classifies a request for the bandwidth breakdown of Fig. 10.
+type AccessKind int
+
+const (
+	// UsefulRead is a read of data the accelerator needed (a vertex being
+	// reduced or propagated, or edge data).
+	UsefulRead AccessKind = iota
+	// WastefulRead is a read performed only because the vertex tracker
+	// locates active vertices at superblock granularity: inactive blocks
+	// read while searching for active ones.
+	WastefulRead
+	// WriteAccess is any write (vertex write-back or spill).
+	WriteAccess
+)
+
+func (k AccessKind) String() string {
+	switch k {
+	case UsefulRead:
+		return "useful-read"
+	case WastefulRead:
+		return "wasteful-read"
+	case WriteAccess:
+		return "write"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// Request is one memory access. Done, if non-nil, runs at completion time.
+type Request struct {
+	Addr  uint64
+	Bytes int
+	Kind  AccessKind
+	Done  func()
+}
+
+// ChannelConfig describes the timing of one DRAM channel.
+type ChannelConfig struct {
+	// Name labels the channel in statistics output.
+	Name string
+	// AtomBytes is the minimum access granularity (32 B for HBM2,
+	// 64 B for DDR4).
+	AtomBytes int
+	// BytesPerCycle is the peak data rate expressed in bytes per core
+	// clock cycle.
+	BytesPerCycle float64
+	// FixedLatency is the pipelined access latency added on top of the
+	// bandwidth-limited service time.
+	FixedLatency sim.Ticks
+	// RowBytes is the row-buffer size; consecutive accesses within one row
+	// avoid RowMissPenalty. Zero disables the row-buffer model.
+	RowBytes int
+	// RowMissPenalty is added to access latency on a row-buffer miss.
+	RowMissPenalty sim.Ticks
+	// Banks is the number of independent banks; rows are interleaved
+	// across banks at row granularity and each bank keeps its own open
+	// row. Zero or one models a single row register.
+	Banks int
+}
+
+// Validate reports a configuration error, if any.
+func (c ChannelConfig) Validate() error {
+	if c.AtomBytes <= 0 {
+		return fmt.Errorf("mem: channel %q: AtomBytes must be positive", c.Name)
+	}
+	if c.BytesPerCycle <= 0 {
+		return fmt.Errorf("mem: channel %q: BytesPerCycle must be positive", c.Name)
+	}
+	if c.RowBytes < 0 || (c.RowBytes > 0 && c.RowBytes < c.AtomBytes) {
+		return fmt.Errorf("mem: channel %q: RowBytes %d invalid for atom %d", c.Name, c.RowBytes, c.AtomBytes)
+	}
+	return nil
+}
+
+// ChannelStats accumulates traffic accounting for one channel.
+type ChannelStats struct {
+	Reads          uint64
+	Writes         uint64
+	UsefulBytes    uint64
+	WastefulBytes  uint64
+	WrittenBytes   uint64
+	RowHits        uint64
+	RowMisses      uint64
+	BusyTicks      sim.Ticks
+	LastCompletion sim.Ticks
+}
+
+// TotalBytes is all data moved over the channel.
+func (s ChannelStats) TotalBytes() uint64 {
+	return s.UsefulBytes + s.WastefulBytes + s.WrittenBytes
+}
+
+// Channel models one DRAM channel: requests are serialized onto the data
+// bus (bandwidth limit) and complete a fixed latency after their bus slot,
+// so many outstanding requests pipeline down to the bandwidth bound —
+// the behaviour NOVA's latency-hiding design depends on.
+type Channel struct {
+	eng      *sim.Engine
+	cfg      ChannelConfig
+	nextFree sim.Ticks
+	// openRow[b] is bank b's open row (hasRow[b] gates validity).
+	openRow []uint64
+	hasRow  []bool
+	stats   ChannelStats
+}
+
+// NewChannel builds a channel on the given engine. It panics on an invalid
+// configuration, which is always a programming error in system assembly.
+func NewChannel(eng *sim.Engine, cfg ChannelConfig) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	banks := cfg.Banks
+	if banks < 1 {
+		banks = 1
+	}
+	return &Channel{
+		eng:     eng,
+		cfg:     cfg,
+		openRow: make([]uint64, banks),
+		hasRow:  make([]bool, banks),
+	}
+}
+
+// Config returns the channel's configuration.
+func (c *Channel) Config() ChannelConfig { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Channel) Stats() ChannelStats { return c.stats }
+
+// ResetStats zeroes the statistics (used between BSP phases or warmup).
+func (c *Channel) ResetStats() { c.stats = ChannelStats{} }
+
+// atoms returns the number of atom transfers a request needs.
+func (c *Channel) atoms(addr uint64, bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	first := addr / uint64(c.cfg.AtomBytes)
+	last := (addr + uint64(bytes) - 1) / uint64(c.cfg.AtomBytes)
+	return int(last-first) + 1
+}
+
+// Access enqueues a request and returns its completion time. Done (if set)
+// is scheduled at that time.
+func (c *Channel) Access(req Request) sim.Ticks {
+	if req.Bytes <= 0 {
+		panic(fmt.Sprintf("mem: access of %d bytes", req.Bytes))
+	}
+	n := c.atoms(req.Addr, req.Bytes)
+	moved := uint64(n * c.cfg.AtomBytes)
+
+	// The data bus is occupied for the transfer time only; row-buffer
+	// misses add latency (bank activate/precharge proceeds in parallel
+	// with other banks' transfers — DRAM bank-level parallelism, which
+	// is what keeps HBM2 fast under NOVA's random vertex accesses).
+	service := sim.Ticks(0)
+	extraLatency := sim.Ticks(0)
+	for i := 0; i < n; i++ {
+		atomAddr := (req.Addr/uint64(c.cfg.AtomBytes) + uint64(i)) * uint64(c.cfg.AtomBytes)
+		t := sim.Ticks(float64(c.cfg.AtomBytes)/c.cfg.BytesPerCycle + 0.999999)
+		if t == 0 {
+			t = 1
+		}
+		if c.cfg.RowBytes > 0 {
+			row := atomAddr / uint64(c.cfg.RowBytes)
+			bank := int(row % uint64(len(c.openRow)))
+			if c.hasRow[bank] && row == c.openRow[bank] {
+				c.stats.RowHits++
+			} else {
+				c.stats.RowMisses++
+				if c.cfg.RowMissPenalty > extraLatency {
+					extraLatency = c.cfg.RowMissPenalty
+				}
+			}
+			c.openRow[bank] = row
+			c.hasRow[bank] = true
+		}
+		service += t
+	}
+
+	now := c.eng.Now()
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + service
+	c.stats.BusyTicks += service
+	complete := start + service + c.cfg.FixedLatency + extraLatency
+
+	switch req.Kind {
+	case UsefulRead:
+		c.stats.Reads++
+		c.stats.UsefulBytes += moved
+	case WastefulRead:
+		c.stats.Reads++
+		c.stats.WastefulBytes += moved
+	case WriteAccess:
+		c.stats.Writes++
+		c.stats.WrittenBytes += moved
+	}
+	if complete > c.stats.LastCompletion {
+		c.stats.LastCompletion = complete
+	}
+
+	if req.Done != nil {
+		c.eng.ScheduleAt(complete, req.Done)
+	}
+	return complete
+}
+
+// BulkTransfer charges a large sequential transfer (such as a BSP apply
+// sweep or a PolyGraph slice switch) against the channel's bandwidth
+// without per-atom events, and returns its completion time. The row-buffer
+// model is bypassed: bulk sweeps are sequential and row-friendly.
+func (c *Channel) BulkTransfer(bytes int64, kind AccessKind) sim.Ticks {
+	if bytes <= 0 {
+		return c.eng.Now()
+	}
+	service := sim.Ticks(float64(bytes)/c.cfg.BytesPerCycle + 0.999999)
+	now := c.eng.Now()
+	start := now
+	if c.nextFree > start {
+		start = c.nextFree
+	}
+	c.nextFree = start + service
+	c.stats.BusyTicks += service
+	switch kind {
+	case UsefulRead:
+		c.stats.Reads++
+		c.stats.UsefulBytes += uint64(bytes)
+	case WastefulRead:
+		c.stats.Reads++
+		c.stats.WastefulBytes += uint64(bytes)
+	case WriteAccess:
+		c.stats.Writes++
+		c.stats.WrittenBytes += uint64(bytes)
+	}
+	complete := start + service + c.cfg.FixedLatency
+	if complete > c.stats.LastCompletion {
+		c.stats.LastCompletion = complete
+	}
+	return complete
+}
+
+// Utilization returns the fraction of the channel's peak bandwidth consumed
+// over the first `elapsed` ticks of the run.
+func (c *Channel) Utilization(elapsed sim.Ticks) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	peak := float64(elapsed) * c.cfg.BytesPerCycle
+	return float64(c.stats.TotalBytes()) / peak
+}
+
+// Standard presets at a 2 GHz core clock, mirroring Table II.
+
+// HBM2ChannelConfig models one of the eight channels in an HBM2 stack:
+// 32 B atoms, 32 GB/s per channel (256 GB/s per stack), ~100 ns load-to-use.
+func HBM2ChannelConfig(name string) ChannelConfig {
+	return ChannelConfig{
+		Name:           name,
+		AtomBytes:      32,
+		BytesPerCycle:  16, // 32 GB/s at 2 GHz
+		FixedLatency:   200,
+		RowBytes:       1024,
+		RowMissPenalty: 24,
+		Banks:          16,
+	}
+}
+
+// DDR4ChannelConfig models one DDR4-2400 channel: 64 B atoms, 19.2 GB/s,
+// longer latency, large rows that reward NOVA's sequential edge streaming.
+func DDR4ChannelConfig(name string) ChannelConfig {
+	return ChannelConfig{
+		Name:           name,
+		AtomBytes:      64,
+		BytesPerCycle:  9.6, // 19.2 GB/s at 2 GHz
+		FixedLatency:   300,
+		RowBytes:       8192,
+		RowMissPenalty: 44,
+		Banks:          16,
+	}
+}

@@ -1,0 +1,349 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nova/internal/sim"
+)
+
+func testChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		Name:          "test",
+		AtomBytes:     32,
+		BytesPerCycle: 16,
+		FixedLatency:  100,
+	}
+}
+
+func TestChannelSingleAccessLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, testChannelConfig())
+	var done sim.Ticks
+	ch.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead, Done: func() { done = eng.Now() }})
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// 32 B at 16 B/cycle = 2 cycles service + 100 fixed = 102.
+	if done != 102 {
+		t.Fatalf("completion at %d, want 102", done)
+	}
+}
+
+func TestChannelBandwidthBound(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, testChannelConfig())
+	const n = 1000
+	var last sim.Ticks
+	for i := 0; i < n; i++ {
+		addr := uint64(i * 32)
+		ch.Access(Request{Addr: addr, Bytes: 32, Kind: UsefulRead, Done: func() { last = eng.Now() }})
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// n atoms at 2 cycles each, pipelined: last completes at 2n + 100.
+	want := sim.Ticks(2*n + 100)
+	if last != want {
+		t.Fatalf("last completion %d, want %d (bandwidth-bound pipelining)", last, want)
+	}
+	util := ch.Utilization(2 * n)
+	if util < 0.99 || util > 1.01 {
+		t.Fatalf("utilization %v, want ~1.0", util)
+	}
+}
+
+func TestChannelMultiAtomRequest(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, testChannelConfig())
+	// 33 bytes starting at addr 0 spans 2 atoms.
+	var done sim.Ticks
+	ch.Access(Request{Addr: 0, Bytes: 33, Kind: UsefulRead, Done: func() { done = eng.Now() }})
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if done != 104 {
+		t.Fatalf("completion %d, want 104 (2 atoms)", done)
+	}
+	if got := ch.Stats().UsefulBytes; got != 64 {
+		t.Fatalf("UsefulBytes = %d, want 64 (whole atoms move)", got)
+	}
+	// Unaligned request spanning a boundary: 32 bytes at addr 16.
+	ch2 := NewChannel(sim.NewEngine(), testChannelConfig())
+	if got := ch2.atoms(16, 32); got != 2 {
+		t.Fatalf("atoms(16,32) = %d, want 2", got)
+	}
+}
+
+func TestChannelRowBuffer(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := testChannelConfig()
+	cfg.RowBytes = 1024
+	cfg.RowMissPenalty = 10
+	ch := NewChannel(eng, cfg)
+	// Sequential accesses within one row: 1 miss then hits.
+	for i := 0; i < 32; i++ {
+		ch.Access(Request{Addr: uint64(i * 32), Bytes: 32, Kind: UsefulRead})
+	}
+	st := ch.Stats()
+	if st.RowMisses != 1 || st.RowHits != 31 {
+		t.Fatalf("row stats = %d misses / %d hits, want 1/31", st.RowMisses, st.RowHits)
+	}
+	// Random far-apart rows: all misses.
+	eng2 := sim.NewEngine()
+	ch2 := NewChannel(eng2, cfg)
+	for i := 0; i < 8; i++ {
+		ch2.Access(Request{Addr: uint64(i) * 1024 * 7, Bytes: 32, Kind: UsefulRead})
+	}
+	if st := ch2.Stats(); st.RowMisses != 8 {
+		t.Fatalf("far accesses: %d row misses, want 8", st.RowMisses)
+	}
+}
+
+func TestChannelKindsAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, testChannelConfig())
+	ch.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead})
+	ch.Access(Request{Addr: 32, Bytes: 32, Kind: WastefulRead})
+	ch.Access(Request{Addr: 64, Bytes: 32, Kind: WriteAccess})
+	st := ch.Stats()
+	if st.UsefulBytes != 32 || st.WastefulBytes != 32 || st.WrittenBytes != 32 {
+		t.Fatalf("accounting wrong: %+v", st)
+	}
+	if st.Reads != 2 || st.Writes != 1 {
+		t.Fatalf("ops wrong: %+v", st)
+	}
+	if st.TotalBytes() != 96 {
+		t.Fatalf("TotalBytes = %d, want 96", st.TotalBytes())
+	}
+}
+
+func TestChannelConfigValidation(t *testing.T) {
+	bad := []ChannelConfig{
+		{AtomBytes: 0, BytesPerCycle: 1},
+		{AtomBytes: 32, BytesPerCycle: 0},
+		{AtomBytes: 32, BytesPerCycle: 1, RowBytes: 16},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated but should not: %+v", i, cfg)
+		}
+	}
+	if err := HBM2ChannelConfig("h").Validate(); err != nil {
+		t.Errorf("HBM2 preset invalid: %v", err)
+	}
+	if err := DDR4ChannelConfig("d").Validate(); err != nil {
+		t.Errorf("DDR4 preset invalid: %v", err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(1024, 32) // 32 lines
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	c.Fill(0)
+	if !c.Access(0) {
+		t.Fatal("filled block missed")
+	}
+	if !c.Access(31) {
+		t.Fatal("same block, different offset missed")
+	}
+	if c.Access(32) {
+		t.Fatal("next block hit without fill")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheEvictionHook(t *testing.T) {
+	c := NewCache(64, 32) // 2 lines
+	var evictions []uint64
+	var dirtiness []bool
+	c.OnEvict = func(addr uint64, dirty bool) {
+		evictions = append(evictions, addr)
+		dirtiness = append(dirtiness, dirty)
+	}
+	c.Fill(0)
+	c.MarkDirty(0)
+	// Block 64 maps to the same line as block 0 (2 lines, 32B blocks).
+	evicted, dirty, had := c.Fill(64)
+	if !had || evicted != 0 || !dirty {
+		t.Fatalf("Fill(64) eviction = (%d, %v, %v), want (0, true, true)", evicted, dirty, had)
+	}
+	if len(evictions) != 1 || evictions[0] != 0 || !dirtiness[0] {
+		t.Fatalf("hook saw %v/%v", evictions, dirtiness)
+	}
+	if c.Stats().DirtyEvictions != 1 {
+		t.Fatalf("dirty evictions = %d", c.Stats().DirtyEvictions)
+	}
+}
+
+func TestCacheMarkDirtyNonResidentPanics(t *testing.T) {
+	c := NewCache(64, 32)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MarkDirty on non-resident block did not panic")
+		}
+	}()
+	c.MarkDirty(128)
+}
+
+func TestCacheFlushAll(t *testing.T) {
+	c := NewCache(128, 32)
+	var flushed int
+	c.OnEvict = func(addr uint64, dirty bool) { flushed++ }
+	c.Fill(0)
+	c.Fill(32)
+	c.MarkDirty(32)
+	c.FlushAll()
+	if flushed != 2 {
+		t.Fatalf("flushed %d blocks, want 2", flushed)
+	}
+	if c.Contains(0) || c.Contains(32) {
+		t.Fatal("blocks still resident after FlushAll")
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(64, 32)
+	c.OnEvict = func(addr uint64, dirty bool) { t.Fatal("Invalidate must not fire OnEvict") }
+	c.Fill(0)
+	c.MarkDirty(0)
+	if !c.Invalidate(0) {
+		t.Fatal("Invalidate lost dirtiness")
+	}
+	if c.Contains(0) {
+		t.Fatal("block resident after Invalidate")
+	}
+	if c.Invalidate(999) {
+		t.Fatal("Invalidate of absent block reported dirty")
+	}
+}
+
+func TestCacheResidencyProperty(t *testing.T) {
+	// Property: after any sequence of fills, Contains agrees with a model
+	// map from line index to tag, and ResidentBlocks enumerates exactly
+	// the resident set.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCache(512, 32) // 16 lines
+		model := map[int]uint64{}
+		for i := 0; i < 300; i++ {
+			addr := uint64(rng.Intn(4096))
+			block := addr / 32
+			line := int(block % 16)
+			c.Fill(addr)
+			model[line] = block
+		}
+		count := 0
+		ok := true
+		c.ResidentBlocks(func(blockAddr uint64, dirty bool) {
+			count++
+			line := int(blockAddr / 32 % 16)
+			if model[line] != blockAddr/32 {
+				ok = false
+			}
+		})
+		return ok && count == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for _, geom := range [][2]int{{0, 32}, {64, 0}, {100, 32}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCache(%d,%d) did not panic", geom[0], geom[1])
+				}
+			}()
+			NewCache(geom[0], geom[1])
+		}()
+	}
+}
+
+func TestBulkTransfer(t *testing.T) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, testChannelConfig())
+	// 1600 bytes at 16 B/cy = 100 cycles service + 100 fixed latency.
+	done := ch.BulkTransfer(1600, WriteAccess)
+	if done != 200 {
+		t.Fatalf("bulk completion = %d, want 200", done)
+	}
+	if st := ch.Stats(); st.WrittenBytes != 1600 {
+		t.Fatalf("written = %d", st.WrittenBytes)
+	}
+	// A second transfer queues behind the first's bus time.
+	done2 := ch.BulkTransfer(160, UsefulRead)
+	if done2 != 210 {
+		t.Fatalf("queued bulk completion = %d, want 210", done2)
+	}
+	// Zero bytes: no-op at current time.
+	if got := ch.BulkTransfer(0, UsefulRead); got != eng.Now() {
+		t.Fatalf("zero bulk = %d", got)
+	}
+}
+
+func TestRowMissAddsLatencyNotBusTime(t *testing.T) {
+	// Bank-level parallelism: random accesses on different rows must
+	// still pipeline at bus rate; only per-request latency grows.
+	eng := sim.NewEngine()
+	cfg := testChannelConfig()
+	cfg.RowBytes = 1024
+	cfg.RowMissPenalty = 50
+	ch := NewChannel(eng, cfg)
+	var last sim.Ticks
+	const n = 100
+	for i := 0; i < n; i++ {
+		// 7 KiB stride: every access misses the row buffer.
+		ch.Access(Request{Addr: uint64(i) * 7168, Bytes: 32, Kind: UsefulRead,
+			Done: func() { last = eng.Now() }})
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// Bus-bound: n*2 cycles of service, + fixed 100 + one miss penalty 50.
+	want := sim.Ticks(n*2 + 100 + 50)
+	if last != want {
+		t.Fatalf("last completion %d, want %d (row misses must not serialize the bus)", last, want)
+	}
+	if ch.Stats().RowMisses != n {
+		t.Fatalf("row misses = %d, want %d", ch.Stats().RowMisses, n)
+	}
+}
+
+func TestBankedRowBuffers(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := testChannelConfig()
+	cfg.RowBytes = 1024
+	cfg.RowMissPenalty = 10
+	cfg.Banks = 4
+	ch := NewChannel(eng, cfg)
+	// Alternate between two rows mapping to different banks: after the
+	// first touch of each, both stay open — all hits.
+	for i := 0; i < 10; i++ {
+		ch.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead})
+		ch.Access(Request{Addr: 1024, Bytes: 32, Kind: UsefulRead})
+	}
+	st := ch.Stats()
+	if st.RowMisses != 2 || st.RowHits != 18 {
+		t.Fatalf("banked: %d misses / %d hits, want 2/18", st.RowMisses, st.RowHits)
+	}
+	// A single-bank channel thrashes the same pattern.
+	eng2 := sim.NewEngine()
+	cfg.Banks = 1
+	ch2 := NewChannel(eng2, cfg)
+	for i := 0; i < 10; i++ {
+		ch2.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead})
+		ch2.Access(Request{Addr: 1024, Bytes: 32, Kind: UsefulRead})
+	}
+	if st := ch2.Stats(); st.RowMisses != 20 {
+		t.Fatalf("single bank should thrash: %d misses, want 20", st.RowMisses)
+	}
+}

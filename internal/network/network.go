@@ -1,0 +1,168 @@
+// Package network models the two interconnect levels of NOVA's system
+// architecture (Section IV-C): the 8×8 point-to-point electrical network
+// between PEs inside a GPN, and the crossbar switch connecting GPNs.
+//
+// The paper's balance argument is quantitative: per-GPN message traffic is
+// bounded by edge-memory bandwidth, and the fabric must absorb it without
+// becoming the bottleneck. These models therefore charge every message's
+// bytes against per-link (or per-port) bandwidth and add a fixed latency,
+// which is exactly the accounting the paper's Figure 9c experiment needs.
+package network
+
+import (
+	"fmt"
+
+	"nova/internal/sim"
+)
+
+// Fabric delivers messages between PEs, identified by global PE index.
+type Fabric interface {
+	// Send models a transfer of bytes from src to dst and schedules
+	// deliver at arrival time.
+	Send(src, dst int, bytes int, deliver func())
+	// Stats returns accumulated traffic counters.
+	Stats() Stats
+}
+
+// Stats counts fabric traffic.
+type Stats struct {
+	Messages   uint64
+	Bytes      uint64
+	LocalBytes uint64 // bytes that stayed within one GPN
+	InterBytes uint64 // bytes that crossed the GPN-level crossbar
+}
+
+// link tracks occupancy in fractional cycles so sub-cycle transfers (an
+// 8-byte message on a 30 B/cycle port) are charged their true bandwidth
+// cost rather than a whole cycle.
+type link struct {
+	nextFree float64
+}
+
+// reserve books a transfer on the link and returns its finish time in
+// fractional cycles.
+func (l *link) reserve(now float64, bytes int, bytesPerCycle float64) float64 {
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	l.nextFree = start + float64(bytes)/bytesPerCycle
+	return l.nextFree
+}
+
+func (l *link) transfer(eng *sim.Engine, bytes int, bytesPerCycle float64, latency sim.Ticks, deliver func()) {
+	done := l.reserve(float64(eng.Now()), bytes, bytesPerCycle)
+	eng.ScheduleAt(sim.Ticks(done+0.999999)+latency, deliver)
+}
+
+// P2PConfig describes the intra-GPN point-to-point network.
+type P2PConfig struct {
+	// BytesPerCycle is per-link bandwidth (1.2 GB/s at 2 GHz = 0.6 B/cy).
+	BytesPerCycle float64
+	// Latency is the per-hop latency in cycles.
+	Latency sim.Ticks
+}
+
+// DefaultP2PConfig matches Table II: 1.2 GB/s per link at a 2 GHz clock.
+func DefaultP2PConfig() P2PConfig {
+	return P2PConfig{BytesPerCycle: 0.6, Latency: 12}
+}
+
+// CrossbarConfig describes the inter-GPN switch.
+type CrossbarConfig struct {
+	// BytesPerCycle is per-port bandwidth (60 GB/s at 2 GHz = 30 B/cy).
+	BytesPerCycle float64
+	// Latency covers serialization and switching.
+	Latency sim.Ticks
+}
+
+// DefaultCrossbarConfig matches Table II: 60 GB/s per port.
+func DefaultCrossbarConfig() CrossbarConfig {
+	return CrossbarConfig{BytesPerCycle: 30, Latency: 120}
+}
+
+// Hierarchical is NOVA's production fabric: a fully-connected point-to-
+// point mesh among the PEs of each GPN, and a crossbar with one port per
+// GPN for everything else.
+type Hierarchical struct {
+	eng       *sim.Engine
+	pesPerGPN int
+	p2p       P2PConfig
+	xbar      CrossbarConfig
+	// intra[g] holds pesPerGPN×pesPerGPN links for GPN g.
+	intra [][]link
+	// in/out port occupancy per GPN.
+	inPort  []link
+	outPort []link
+	stats   Stats
+}
+
+// NewHierarchical builds the fabric for gpns GPNs of pesPerGPN PEs each.
+func NewHierarchical(eng *sim.Engine, gpns, pesPerGPN int, p2p P2PConfig, xbar CrossbarConfig) *Hierarchical {
+	if gpns <= 0 || pesPerGPN <= 0 {
+		panic(fmt.Sprintf("network: invalid geometry %d GPNs × %d PEs", gpns, pesPerGPN))
+	}
+	h := &Hierarchical{
+		eng:       eng,
+		pesPerGPN: pesPerGPN,
+		p2p:       p2p,
+		xbar:      xbar,
+		intra:     make([][]link, gpns),
+		inPort:    make([]link, gpns),
+		outPort:   make([]link, gpns),
+	}
+	for g := range h.intra {
+		h.intra[g] = make([]link, pesPerGPN*pesPerGPN)
+	}
+	return h
+}
+
+// Send implements Fabric.
+func (h *Hierarchical) Send(src, dst, bytes int, deliver func()) {
+	h.stats.Messages++
+	h.stats.Bytes += uint64(bytes)
+	sg, dg := src/h.pesPerGPN, dst/h.pesPerGPN
+	if sg == dg {
+		h.stats.LocalBytes += uint64(bytes)
+		l := &h.intra[sg][(src%h.pesPerGPN)*h.pesPerGPN+dst%h.pesPerGPN]
+		l.transfer(h.eng, bytes, h.p2p.BytesPerCycle, h.p2p.Latency, deliver)
+		return
+	}
+	h.stats.InterBytes += uint64(bytes)
+	// Source GPN's output port, then destination GPN's input port. The
+	// stages arbitrate independently (the switch buffers between them),
+	// so a busy destination port does not convoy-block the source port.
+	out := &h.outPort[sg]
+	in := &h.inPort[dg]
+	t1 := out.reserve(float64(h.eng.Now()), bytes, h.xbar.BytesPerCycle)
+	t2 := in.reserve(t1, bytes, h.xbar.BytesPerCycle)
+	h.eng.ScheduleAt(sim.Ticks(t2+0.999999)+h.xbar.Latency, deliver)
+}
+
+// Stats implements Fabric.
+func (h *Hierarchical) Stats() Stats { return h.stats }
+
+// Ideal is a fully-connected point-to-point fabric with unlimited bandwidth
+// and a fixed latency — the "P2P with infinite bandwidth" configuration of
+// Figure 9c.
+type Ideal struct {
+	eng     *sim.Engine
+	latency sim.Ticks
+	stats   Stats
+}
+
+// NewIdeal builds an ideal fabric.
+func NewIdeal(eng *sim.Engine, latency sim.Ticks) *Ideal {
+	return &Ideal{eng: eng, latency: latency}
+}
+
+// Send implements Fabric.
+func (i *Ideal) Send(src, dst, bytes int, deliver func()) {
+	i.stats.Messages++
+	i.stats.Bytes += uint64(bytes)
+	i.stats.LocalBytes += uint64(bytes)
+	i.eng.Schedule(i.latency, deliver)
+}
+
+// Stats implements Fabric.
+func (i *Ideal) Stats() Stats { return i.stats }

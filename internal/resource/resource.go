@@ -1,0 +1,269 @@
+// Package resource implements the paper's analytic models: the tracker
+// capacity equations (Eq. 1 and Eq. 2 in Section III-D), the terascale
+// resource-scaling comparison of Table IV (Section VI-E), and the FPGA
+// resource composition of Table V (Section VI-F).
+//
+// These are arithmetic models in the paper as well — no simulation is
+// involved — so this package reproduces the computations directly and the
+// experiment harness prints paper-vs-computed rows.
+package resource
+
+import "math"
+
+// KiB/MiB/GiB/TiB in bytes.
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+	TiB = int64(1) << 40
+)
+
+// TrackerBits implements Equations 1 and 2:
+//
+//	num_superblocks = vertex_mem_capacity / (superblock_dim × block_size)
+//	cap_bits       = (log2(superblock_dim) + 1) × num_superblocks
+func TrackerBits(vertexMemBytes int64, superblockDim, blockBytes int) int64 {
+	sbBytes := int64(superblockDim) * int64(blockBytes)
+	numSB := (vertexMemBytes + sbBytes - 1) / sbBytes
+	bits := int64(math.Log2(float64(superblockDim))) + 1
+	return bits * numSB
+}
+
+// VertexBitVectorBits returns the naive per-vertex bit-vector capacity the
+// paper compares against (~440 MiB for WDC12).
+func VertexBitVectorBits(numVertices int64) int64 { return numVertices }
+
+// BlockBitVectorBits returns the per-block bit-vector capacity
+// (~220 MiB for WDC12 with 32 B blocks and 16 B vertices).
+func BlockBitVectorBits(vertexMemBytes int64, blockBytes int) int64 {
+	return (vertexMemBytes + int64(blockBytes) - 1) / int64(blockBytes)
+}
+
+// GraphSpec sizes a target graph for the scaling model.
+type GraphSpec struct {
+	Name        string
+	Vertices    int64
+	Edges       int64
+	VertexBytes int64
+	EdgeBytes   int64
+}
+
+// WDC12 is the paper's terascale target: 3.5 B pages, 128 B hyperlinks
+// (53 GiB of vertices, 959 GiB of edges at 16 B + 8 B records).
+func WDC12() GraphSpec {
+	return GraphSpec{
+		Name:        "WDC12",
+		Vertices:    3_500_000_000,
+		Edges:       128_000_000_000,
+		VertexBytes: 16,
+		EdgeBytes:   8,
+	}
+}
+
+// VertexCapacity returns the vertex-set footprint in bytes.
+func (g GraphSpec) VertexCapacity() int64 { return g.Vertices * g.VertexBytes }
+
+// EdgeCapacity returns the edge-array footprint in bytes.
+func (g GraphSpec) EdgeCapacity() int64 { return g.Edges * g.EdgeBytes }
+
+// Requirement is one row of Table IV.
+type Requirement struct {
+	Accelerator string
+	HBMStacks   int64
+	HBMBytes    int64
+	DDRChannels int64
+	DDRBytes    int64
+	SRAMBytes   int64
+	Cores       int64
+	Slices      int64
+}
+
+// NOVARequirement sizes a NOVA deployment for the graph: HBM stacks for
+// the vertex set (4 GiB per stack, one GPN per stack), four 32 GiB DDR4
+// channels per GPN for edges, 8 cores and 1.5 MiB of SRAM per GPN, and a
+// single temporal slice — NOVA never slices.
+func NOVARequirement(g GraphSpec) Requirement {
+	const (
+		stackBytes      = 4 * GiB
+		ddrChanPerGPN   = 4
+		ddrChanBytes    = 32 * GiB
+		coresPerGPN     = 8
+		sramPerGPNBytes = 3 * MiB / 2 // 512 KiB cache + 1 MiB VMU
+	)
+	stacks := ceilDiv(g.VertexCapacity(), stackBytes)
+	// GPNs must also provide enough DDR capacity for the edges.
+	gpnsForEdges := ceilDiv(g.EdgeCapacity(), ddrChanPerGPN*ddrChanBytes)
+	gpns := stacks
+	if gpnsForEdges > gpns {
+		gpns = gpnsForEdges
+	}
+	return Requirement{
+		Accelerator: "NOVA",
+		HBMStacks:   gpns,
+		HBMBytes:    gpns * stackBytes,
+		DDRChannels: gpns * ddrChanPerGPN,
+		DDRBytes:    gpns * ddrChanPerGPN * ddrChanBytes,
+		SRAMBytes:   gpns * sramPerGPNBytes,
+		Cores:       gpns * coresPerGPN,
+		Slices:      1,
+	}
+}
+
+// PolyGraphRequirement sizes a sliced PolyGraph deployment: the whole
+// graph (vertices and edges) lives in HBM (8 GiB stacks, 16 cores and
+// 32 MiB of scratchpad per stack-node), and the vertex set is temporally
+// sliced against the per-node scratchpad.
+func PolyGraphRequirement(g GraphSpec) Requirement {
+	const (
+		stackBytes   = 8 * GiB
+		coresPerNode = 16
+		sramPerNode  = 32 * MiB
+	)
+	total := g.VertexCapacity() + g.EdgeCapacity()
+	nodes := ceilDiv(total, stackBytes)
+	// Slices: 4 B of on-chip state per vertex against the aggregate
+	// scratchpad (each node slices its local share identically).
+	slices := ceilDiv(4*g.Vertices/nodes, sramPerNode)
+	if slices < 1 {
+		slices = 1
+	}
+	return Requirement{
+		Accelerator: "PolyGraph",
+		HBMStacks:   nodes,
+		HBMBytes:    nodes * stackBytes,
+		SRAMBytes:   nodes * sramPerNode,
+		Cores:       nodes * coresPerNode,
+		Slices:      slices,
+	}
+}
+
+// PolyGraphNonSlicedRequirement sizes the non-sliced PolyGraph variant:
+// on-chip memory must hold the full 16 B vertex working set.
+func PolyGraphNonSlicedRequirement(g GraphSpec) Requirement {
+	const (
+		stackBytes   = 8 * GiB
+		coresPerNode = 16
+	)
+	nodes := ceilDiv(g.VertexCapacity()+g.EdgeCapacity(), stackBytes)
+	return Requirement{
+		Accelerator: "PolyGraph non-sliced",
+		HBMStacks:   nodes,
+		HBMBytes:    nodes * stackBytes,
+		SRAMBytes:   g.VertexCapacity(), // the whole vertex set on-chip
+		Cores:       nodes * coresPerNode,
+		Slices:      1,
+	}
+}
+
+// DalorexRequirement sizes Dalorex: everything on-chip, one core per
+// 4 MiB SRAM tile.
+func DalorexRequirement(g GraphSpec) Requirement {
+	const tileBytes = 4 * MiB
+	total := g.VertexCapacity() + g.EdgeCapacity()
+	cores := ceilDiv(total, tileBytes)
+	return Requirement{
+		Accelerator: "Dalorex",
+		SRAMBytes:   total,
+		Cores:       cores,
+		Slices:      1,
+	}
+}
+
+// TableIV returns all four rows for a graph.
+func TableIV(g GraphSpec) []Requirement {
+	return []Requirement{
+		NOVARequirement(g),
+		PolyGraphRequirement(g),
+		PolyGraphNonSlicedRequirement(g),
+		DalorexRequirement(g),
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// --- Table V: FPGA composition -------------------------------------------
+
+// FPGAUnit is the post-synthesis cost of one unit (8 instances, i.e. one
+// GPN's worth, as reported in Table V).
+type FPGAUnit struct {
+	Name    string
+	LUT     int64
+	FF      int64
+	BRAM    int64
+	URAM    int64
+	PowerMW int64
+}
+
+// GPNUnits returns Table V's component rows for one GPN (8 PEs) at 1 GHz.
+func GPNUnits() []FPGAUnit {
+	return []FPGAUnit{
+		{Name: "8 MPU", LUT: 6032, FF: 7472, BRAM: 16, URAM: 24, PowerMW: 1120},
+		{Name: "8 VMU", LUT: 5160, FF: 5560, BRAM: 64, URAM: 64, PowerMW: 1396},
+		{Name: "8 MGU", LUT: 1640, FF: 4840, BRAM: 16, URAM: 8, PowerMW: 752},
+		{Name: "NoC", LUT: 3, FF: 145, BRAM: 0, URAM: 0, PowerMW: 6},
+	}
+}
+
+// GPNTotal sums the component rows.
+func GPNTotal() FPGAUnit {
+	t := FPGAUnit{Name: "1 GPN total"}
+	for _, u := range GPNUnits() {
+		t.LUT += u.LUT
+		t.FF += u.FF
+		t.BRAM += u.BRAM
+		t.URAM += u.URAM
+		t.PowerMW += u.PowerMW
+	}
+	return t
+}
+
+// FPGADevice is a target part's resource capacity.
+type FPGADevice struct {
+	Name string
+	LUT  int64
+	FF   int64
+	BRAM int64
+	URAM int64
+}
+
+// AlveoU280 is the Xilinx Alveo U280 used for the prototype (it pairs
+// DDR4 and HBM2, which NOVA's memory system requires).
+func AlveoU280() FPGADevice {
+	return FPGADevice{Name: "Alveo U280", LUT: 1_304_000, FF: 2_607_000, BRAM: 2016, URAM: 960}
+}
+
+// MaxGPNs returns how many GPNs fit on the device and which resource
+// binds first.
+func MaxGPNs(dev FPGADevice) (int64, string) {
+	g := GPNTotal()
+	limit := int64(math.MaxInt64)
+	binding := ""
+	check := func(capacity, need int64, name string) {
+		if need == 0 {
+			return
+		}
+		if fit := capacity / need; fit < limit {
+			limit = fit
+			binding = name
+		}
+	}
+	check(dev.LUT, g.LUT, "LUT")
+	check(dev.FF, g.FF, "FF")
+	check(dev.BRAM, g.BRAM, "BRAM")
+	check(dev.URAM, g.URAM, "URAM")
+	return limit, binding
+}
+
+// Utilization returns per-resource utilization fractions for n GPNs.
+func Utilization(dev FPGADevice, gpns int64) (lut, ff, bram, uram float64) {
+	g := GPNTotal()
+	return float64(g.LUT*gpns) / float64(dev.LUT),
+		float64(g.FF*gpns) / float64(dev.FF),
+		float64(g.BRAM*gpns) / float64(dev.BRAM),
+		float64(g.URAM*gpns) / float64(dev.URAM)
+}

@@ -1,0 +1,175 @@
+package resource
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTrackerBitsWDC12Example(t *testing.T) {
+	// Section III-D's worked example: WDC12 vertex set is 57.6 GiB
+	// (3.6 B vertices × 16 B), HBM atom 32 B, superblock_dim 128.
+	vertices := int64(3_600_000_000)
+	vertexMem := vertices * 16
+
+	// Naive bit vector: 1 bit per vertex ≈ 440 MiB of on-chip storage.
+	bv := VertexBitVectorBits(vertices) / 8
+	if bv < 420*MiB || bv > 460*MiB {
+		t.Fatalf("vertex bit vector = %d MiB, want ≈ 440 MiB", bv/MiB)
+	}
+	// Block granularity halves it to ≈ 220 MiB.
+	bb := BlockBitVectorBits(vertexMem, 32) / 8
+	if bb < 200*MiB || bb > 240*MiB {
+		t.Fatalf("block bit vector = %d MiB, want ≈ 220 MiB", bb/MiB)
+	}
+	// Superblock counters: ≈ 16 MiB, about 27× smaller than the vertex
+	// bit vector.
+	tr := TrackerBits(vertexMem, 128, 32) / 8
+	if tr < 12*MiB || tr > 20*MiB {
+		t.Fatalf("tracker = %d MiB, want ≈ 16 MiB", tr/MiB)
+	}
+	if ratio := float64(bv) / float64(tr); ratio < 25 || ratio > 32 {
+		t.Fatalf("tracker only %.1f× smaller than bit vector, paper reports 27×", ratio)
+	}
+}
+
+func TestTrackerBitsMonotone(t *testing.T) {
+	// Property: growing the superblock dimension never increases the
+	// tracker capacity.
+	f := func(seed int64) bool {
+		mem := int64(1<<20) + (seed&0xFFFF)*4096
+		if mem < 0 {
+			mem = 1 << 20
+		}
+		prev := int64(1) << 62
+		for _, dim := range []int{32, 64, 128, 256} {
+			bits := TrackerBits(mem, dim, 32)
+			if bits > prev {
+				return false
+			}
+			prev = bits
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrackerSensitivitySizes(t *testing.T) {
+	// Section VI-C2: for the evaluation system, superblock dims
+	// 32/64/128/256 need ≈ 3 MiB / 1.75 MiB / 1 MiB / 576 KiB per GPN.
+	// One GPN owns one HBM2 stack: 4 GiB of vertex memory.
+	vertexMem := 4 * GiB
+	cases := []struct {
+		dim    int
+		wantLo int64
+		wantHi int64
+	}{
+		{32, 2 * MiB, 4 * MiB},
+		{64, MiB + MiB/2, 2 * MiB},
+		{128, MiB - MiB/8, MiB + MiB/8},
+		{256, 500 * KiB, 640 * KiB},
+	}
+	for _, c := range cases {
+		got := TrackerBits(vertexMem, c.dim, 32) / 8
+		if got < c.wantLo || got > c.wantHi {
+			t.Errorf("dim %d: tracker = %d KiB, want in [%d, %d] KiB",
+				c.dim, got/KiB, c.wantLo/KiB, c.wantHi/KiB)
+		}
+	}
+}
+
+func TestTableIVNOVARow(t *testing.T) {
+	// The NOVA row of Table IV derives directly: 53 GiB of vertices on
+	// 4 GiB stacks → 14 stacks/GPNs, 56 DDR channels (1 TiB), 112 cores,
+	// 21 MiB SRAM, 1 slice.
+	r := NOVARequirement(WDC12())
+	if r.HBMStacks != 14 {
+		t.Errorf("HBM stacks = %d, want 14", r.HBMStacks)
+	}
+	if r.DDRChannels != 56 {
+		t.Errorf("DDR channels = %d, want 56", r.DDRChannels)
+	}
+	if r.Cores != 112 {
+		t.Errorf("cores = %d, want 112", r.Cores)
+	}
+	if r.SRAMBytes != 21*MiB {
+		t.Errorf("SRAM = %d MiB, want 21 MiB", r.SRAMBytes/MiB)
+	}
+	if r.Slices != 1 {
+		t.Errorf("slices = %d, want 1", r.Slices)
+	}
+	if r.DDRBytes != TiB+TiB/2*0 && r.DDRBytes != 56*32*GiB {
+		t.Errorf("DDR capacity = %d GiB", r.DDRBytes/GiB)
+	}
+}
+
+func TestTableIVShape(t *testing.T) {
+	// The comparison's shape: PolyGraph needs ~100× NOVA's SRAM and
+	// many more HBM stacks; the non-sliced variant needs the whole
+	// vertex set on-chip; Dalorex needs ~1 TiB of SRAM and vastly more
+	// cores.
+	g := WDC12()
+	nova := NOVARequirement(g)
+	pg := PolyGraphRequirement(g)
+	pgNS := PolyGraphNonSlicedRequirement(g)
+	dal := DalorexRequirement(g)
+
+	if pg.SRAMBytes < 100*nova.SRAMBytes {
+		t.Errorf("PolyGraph SRAM %d MiB not ≫ NOVA %d MiB", pg.SRAMBytes/MiB, nova.SRAMBytes/MiB)
+	}
+	if pg.HBMStacks < 8*nova.HBMStacks {
+		t.Errorf("PolyGraph stacks %d not ≫ NOVA %d", pg.HBMStacks, nova.HBMStacks)
+	}
+	if pg.Slices < 2 {
+		t.Errorf("PolyGraph slices = %d, want sliced execution", pg.Slices)
+	}
+	if pgNS.SRAMBytes != g.VertexCapacity() {
+		t.Errorf("non-sliced SRAM = %d GiB, want full vertex set %d GiB",
+			pgNS.SRAMBytes/GiB, g.VertexCapacity()/GiB)
+	}
+	if dal.SRAMBytes < 900*GiB {
+		t.Errorf("Dalorex SRAM = %d GiB, want ≈ 1 TiB", dal.SRAMBytes/GiB)
+	}
+	if dal.Cores < 100_000 {
+		t.Errorf("Dalorex cores = %d, want hundreds of thousands", dal.Cores)
+	}
+	if rows := TableIV(g); len(rows) != 4 {
+		t.Fatalf("TableIV rows = %d", len(rows))
+	}
+}
+
+func TestGPNTotalMatchesTableV(t *testing.T) {
+	tot := GPNTotal()
+	// The power column of Table V sums exactly: 1120+1396+752+6 = 3274.
+	if tot.PowerMW != 3274 {
+		t.Errorf("GPN power = %d mW, want 3274", tot.PowerMW)
+	}
+	if tot.LUT != 6032+5160+1640+3 {
+		t.Errorf("GPN LUT = %d", tot.LUT)
+	}
+	if tot.FF != 7472+5560+4840+145 {
+		t.Errorf("GPN FF = %d", tot.FF)
+	}
+	if tot.BRAM != 96 || tot.URAM != 96 {
+		t.Errorf("GPN BRAM/URAM = %d/%d", tot.BRAM, tot.URAM)
+	}
+}
+
+func TestMaxGPNsOnU280(t *testing.T) {
+	n, binding := MaxGPNs(AlveoU280())
+	// URAM binds first; ≥10 GPNs fit (the paper quotes 14 with a more
+	// aggressive URAM→BRAM remapping; see EXPERIMENTS.md).
+	if binding != "URAM" {
+		t.Errorf("binding resource = %s, want URAM", binding)
+	}
+	if n < 10 || n > 14 {
+		t.Errorf("max GPNs = %d, want in [10, 14]", n)
+	}
+	lut, ff, bram, uram := Utilization(AlveoU280(), 1)
+	for name, u := range map[string]float64{"lut": lut, "ff": ff, "bram": bram, "uram": uram} {
+		if u <= 0 || u > 0.15 {
+			t.Errorf("single-GPN %s utilization %v out of (0, 0.15]", name, u)
+		}
+	}
+}

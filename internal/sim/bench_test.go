@@ -1,0 +1,45 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event-loop rate — the figure that
+// bounds how large a graph the cycle-level model can simulate per second.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(1, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, tick)
+	if err := e.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleDeschedule measures timer churn (MGU/prefetch usage).
+func BenchmarkScheduleDeschedule(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1000, func() {})
+		e.Deschedule(ev)
+	}
+}
+
+// BenchmarkFanOut measures bursty same-tick scheduling (message delivery).
+func BenchmarkFanOut(b *testing.B) {
+	e := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(Ticks(j%8), func() {})
+		}
+		if err := e.RunUntilQuiet(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// It plays the role gem5's event queue plays in the paper's methodology:
+// hardware components schedule callbacks at future ticks (1 tick = 1 clock
+// cycle at the system frequency) and the engine executes them in time order.
+// Ties are broken by insertion order, which makes every simulation fully
+// deterministic for a given seed and schedule sequence.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Ticks is a point in simulated time, measured in clock cycles.
+type Ticks uint64
+
+// MaxTicks is the largest representable simulation time.
+const MaxTicks = Ticks(math.MaxUint64)
+
+// Event is a scheduled callback. The zero value is inert.
+type Event struct {
+	when Ticks
+	seq  uint64
+	fn   func()
+	// index within the heap, -1 when not scheduled.
+	index int
+}
+
+// When returns the tick at which the event is scheduled to fire.
+func (e *Event) When() Ticks { return e.when }
+
+// Scheduled reports whether the event is currently in the queue.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is the simulation event loop. It is not safe for concurrent use;
+// all components of one simulated system share a single Engine and run on
+// one goroutine, exactly like SimObjects share gem5's event queue.
+type Engine struct {
+	now      Ticks
+	seq      uint64
+	events   eventHeap
+	executed uint64
+	// stopErr, when set, aborts Run.
+	stopErr error
+}
+
+// NewEngine returns an empty engine at tick zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Ticks { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule enqueues fn to run delay ticks from now and returns the event,
+// which may be used to Deschedule or Reschedule it.
+func (e *Engine) Schedule(delay Ticks, fn func()) *Event {
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn at an absolute tick. Scheduling in the past panics:
+// it is always a component bug.
+func (e *Engine) ScheduleAt(when Ticks, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil callback")
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Deschedule removes a pending event. Descheduling an unscheduled event is a
+// no-op so callers can cancel idempotently.
+func (e *Engine) Deschedule(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&e.events, ev.index)
+}
+
+// Reschedule moves a pending event (or revives a fired one) to a new
+// absolute time.
+func (e *Engine) Reschedule(ev *Event, when Ticks) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %d before now %d", when, e.now))
+	}
+	if ev.index >= 0 {
+		ev.when = when
+		heap.Fix(&e.events, ev.index)
+		return
+	}
+	ev.when = when
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Stop aborts a Run in progress after the current event returns. The error
+// is reported by Run; a nil err stops cleanly.
+func (e *Engine) Stop(err error) {
+	if err == nil {
+		err = errStopped
+	}
+	e.stopErr = err
+}
+
+var errStopped = errors.New("sim: stopped")
+
+// ErrMaxEvents is reported by Run when the event budget is exhausted.
+var ErrMaxEvents = errors.New("sim: event budget exhausted")
+
+// Run executes events until the queue is empty (global quiescence), the
+// horizon is passed, the event budget is exhausted, or Stop is called.
+// horizon and maxEvents of 0 mean unlimited. It returns the reason the run
+// ended: nil for quiescence or horizon, ErrMaxEvents for budget exhaustion,
+// or the Stop error.
+func (e *Engine) Run(horizon Ticks, maxEvents uint64) error {
+	if horizon == 0 {
+		horizon = MaxTicks
+	}
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.when > horizon {
+			e.now = horizon
+			return nil
+		}
+		heap.Pop(&e.events)
+		e.now = next.when
+		next.fn()
+		e.executed++
+		if e.stopErr != nil {
+			err := e.stopErr
+			e.stopErr = nil
+			if errors.Is(err, errStopped) {
+				return nil
+			}
+			return err
+		}
+		if maxEvents > 0 && e.executed >= maxEvents {
+			return ErrMaxEvents
+		}
+	}
+	return nil
+}
+
+// RunUntilQuiet is Run with no horizon and the given event budget.
+func (e *Engine) RunUntilQuiet(maxEvents uint64) error {
+	return e.Run(0, maxEvents)
+}
+
+// Clock converts between ticks and wall-clock seconds at a fixed frequency.
+type Clock struct {
+	// HZ is the component frequency in cycles per second.
+	HZ float64
+}
+
+// Seconds converts a tick count to seconds.
+func (c Clock) Seconds(t Ticks) float64 { return float64(t) / c.HZ }
+
+// TicksFor returns the number of whole ticks needed to transfer the given
+// number of bytes at bytesPerSec, rounding up and never returning zero for a
+// nonzero transfer.
+func (c Clock) TicksFor(bytes int, bytesPerSec float64) Ticks {
+	if bytes <= 0 {
+		return 0
+	}
+	t := Ticks(math.Ceil(float64(bytes) / bytesPerSec * c.HZ))
+	if t == 0 {
+		t = 1
+	}
+	return t
+}

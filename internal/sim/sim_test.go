@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 3) })
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(7, func() { got = append(got, i) })
+	}
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-tick events fired out of insertion order: %v", got)
+	}
+}
+
+func TestEventsFireInNondecreasingTime(t *testing.T) {
+	// Property: for random schedules (including events scheduled from
+	// within events), observed firing times never decrease.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var last Ticks
+		ok := true
+		var spawn func()
+		n := 0
+		spawn = func() {
+			if last > e.Now() {
+				ok = false
+			}
+			last = e.Now()
+			if n < 500 {
+				n++
+				e.Schedule(Ticks(rng.Intn(50)), spawn)
+				if rng.Intn(3) == 0 {
+					e.Schedule(Ticks(rng.Intn(50)), spawn)
+					n++
+				}
+			}
+		}
+		for i := 0; i < 5; i++ {
+			e.Schedule(Ticks(rng.Intn(100)), spawn)
+		}
+		if err := e.RunUntilQuiet(0); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeschedule(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	e.Deschedule(ev)
+	e.Deschedule(ev) // idempotent
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("descheduled event fired")
+	}
+	if ev.Scheduled() {
+		t.Fatal("event still reports scheduled")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var at Ticks
+	ev := e.Schedule(10, func() { at = e.Now() })
+	e.Reschedule(ev, 25)
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 25 {
+		t.Fatalf("fired at %d, want 25", at)
+	}
+	// Revive the fired event.
+	e.Reschedule(ev, 40)
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 40 {
+		t.Fatalf("revived event fired at %d, want 40", at)
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(100, func() { fired = true })
+	if err := e.Run(50, 0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("Now = %d, want horizon 50", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestMaxEvents(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() { n++; e.Schedule(1, tick) }
+	e.Schedule(0, tick)
+	err := e.RunUntilQuiet(1000)
+	if !errors.Is(err, ErrMaxEvents) {
+		t.Fatalf("err = %v, want ErrMaxEvents", err)
+	}
+	if n != 1000 {
+		t.Fatalf("executed %d, want 1000", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	stopErr := errors.New("boom")
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop(stopErr) })
+	e.Schedule(2, func() { ran++ })
+	if err := e.RunUntilQuiet(0); !errors.Is(err, stopErr) {
+		t.Fatalf("err = %v, want %v", err, stopErr)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after stop, want 1", ran)
+	}
+	// Clean stop returns nil.
+	e2 := NewEngine()
+	e2.Schedule(1, func() { e2.Stop(nil) })
+	if err := e2.RunUntilQuiet(0); err != nil {
+		t.Fatalf("clean stop returned %v", err)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	if err := e.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := Clock{HZ: 2e9}
+	if s := c.Seconds(2e9); s != 1.0 {
+		t.Fatalf("Seconds(2e9) = %v, want 1", s)
+	}
+	// 32 bytes at 32 GB/s at 2 GHz = 2 cycles.
+	if ticks := c.TicksFor(32, 32e9); ticks != 2 {
+		t.Fatalf("TicksFor = %d, want 2", ticks)
+	}
+	if ticks := c.TicksFor(0, 32e9); ticks != 0 {
+		t.Fatalf("TicksFor(0) = %d, want 0", ticks)
+	}
+	if ticks := c.TicksFor(1, 1e18); ticks != 1 {
+		t.Fatalf("tiny transfer must take at least 1 tick, got %d", ticks)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(42))
+		var got []int
+		var spawn func(id int)
+		n := 0
+		spawn = func(id int) {
+			got = append(got, id)
+			if n < 2000 {
+				n++
+				e.Schedule(Ticks(rng.Intn(10)), func() { spawn(n) })
+			}
+		}
+		e.Schedule(0, func() { spawn(-1) })
+		if err := e.RunUntilQuiet(0); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

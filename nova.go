@@ -1,0 +1,308 @@
+// Package nova is the public API of the NOVA reproduction: a simulated
+// graph-processing accelerator with a decoupled vertex management
+// architecture (HPCA 2025), its temporal-partitioning baseline
+// (PolyGraph), and a Ligra-style software baseline, all runnable on the
+// same vertex-centric programs.
+//
+// Quick start:
+//
+//	g := graph.GenRMAT("social", 16, 16, graph.DefaultRMAT, 1, 42)
+//	acc, _ := nova.New(nova.DefaultConfig())
+//	rep, _ := acc.Run(program.NewBFS(g.LargestOutDegreeVertex()), g)
+//	fmt.Printf("%.2f GTEPS\n", rep.GTEPS(g))
+package nova
+
+import (
+	"fmt"
+	"io"
+
+	"nova/graph"
+	"nova/internal/core"
+	"nova/internal/ref"
+	"nova/internal/trace"
+	"nova/program"
+)
+
+// Config selects the NOVA system organization. The zero value is not
+// valid; start from DefaultConfig.
+type Config struct {
+	// GPNs is the number of graph processing nodes (Table II: 8 PEs,
+	// one HBM2 stack and four DDR4 channels each).
+	GPNs int
+	// PEsPerGPN overrides the per-GPN processing element count.
+	PEsPerGPN int
+	// CacheBytesPerPE sizes the MPU vertex cache (default 64 KiB).
+	CacheBytesPerPE int
+	// SuperblockDim sets the tracker granularity (default 128 blocks).
+	SuperblockDim int
+	// ActiveBufferEntries sizes the VMU FIFO (default 80).
+	ActiveBufferEntries int
+	// Spill selects the vertex spilling mechanism: "overwrite" (NOVA's
+	// design) or "fifo" (the Table I strawman).
+	Spill string
+	// Fabric selects the interconnect: "hierarchical" (Table II) or
+	// "ideal" (infinite-bandwidth point-to-point, Fig. 9c).
+	Fabric string
+	// Mapping selects spatial vertex placement: "random" (default),
+	// "interleave", "load-balanced", or "locality" (Fig. 9b).
+	Mapping string
+	// Seed drives the random vertex mapping.
+	Seed int64
+	// MaxEvents bounds simulation length (0 = default budget).
+	MaxEvents uint64
+}
+
+// DefaultConfig returns a single-GPN Table II system with random vertex
+// mapping.
+func DefaultConfig() Config {
+	return Config{
+		GPNs:                1,
+		PEsPerGPN:           8,
+		CacheBytesPerPE:     64 << 10,
+		SuperblockDim:       128,
+		ActiveBufferEntries: 80,
+		Spill:               "overwrite",
+		Fabric:              "hierarchical",
+		Mapping:             "random",
+		Seed:                1,
+	}
+}
+
+func (c Config) coreConfig() (core.Config, error) {
+	cc := core.DefaultConfig(c.GPNs)
+	if c.PEsPerGPN > 0 {
+		cc.PEsPerGPN = c.PEsPerGPN
+	}
+	if c.CacheBytesPerPE > 0 {
+		cc.CacheBytesPerPE = c.CacheBytesPerPE
+	}
+	if c.SuperblockDim > 0 {
+		cc.SuperblockDim = c.SuperblockDim
+	}
+	if c.ActiveBufferEntries > 0 {
+		cc.ActiveBufferEntries = c.ActiveBufferEntries
+		if cc.PrefetchBatch > cc.ActiveBufferEntries {
+			cc.PrefetchBatch = cc.ActiveBufferEntries
+		}
+	}
+	cc.MaxEvents = c.MaxEvents
+	switch c.Spill {
+	case "", "overwrite":
+		cc.Spill = core.SpillOverwrite
+	case "fifo":
+		cc.Spill = core.SpillFIFO
+	default:
+		return cc, fmt.Errorf("nova: unknown spill policy %q", c.Spill)
+	}
+	switch c.Fabric {
+	case "", "hierarchical":
+		cc.Fabric = core.FabricHierarchical
+	case "ideal":
+		cc.Fabric = core.FabricIdeal
+	default:
+		return cc, fmt.Errorf("nova: unknown fabric %q", c.Fabric)
+	}
+	return cc, nil
+}
+
+func (c Config) partition(g *graph.CSR, gpns, pesPerGPN int) (*graph.Partition, error) {
+	parts := gpns * pesPerGPN
+	switch c.Mapping {
+	case "", "random":
+		return graph.PartitionRandom(g.NumVertices(), parts, c.Seed), nil
+	case "interleave":
+		return graph.PartitionInterleave(g.NumVertices(), parts), nil
+	case "load-balanced":
+		return graph.PartitionLoadBalanced(g, parts), nil
+	case "locality":
+		// Keep communities on one GPN (saving crossbar traffic) while
+		// spreading them over its PEs for parallelism.
+		return graph.PartitionLocalityHierarchical(g, gpns, pesPerGPN), nil
+	default:
+		return nil, fmt.Errorf("nova: unknown mapping %q", c.Mapping)
+	}
+}
+
+// Accelerator runs programs on the simulated NOVA machine. It implements
+// program.Runner.
+type Accelerator struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an Accelerator.
+func New(cfg Config) (*Accelerator, error) {
+	cc, err := cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	if _, err := cfg.partition(graph.FromEdges("probe", 1, nil), cc.GPNs, cc.PEsPerGPN); err != nil {
+		return nil, err
+	}
+	return &Accelerator{cfg: cfg}, nil
+}
+
+// Report is the outcome of one accelerator run.
+type Report struct {
+	// Props holds the final vertex properties.
+	Props []program.Prop
+	// Stats is the engine-agnostic summary.
+	Stats program.RunStats
+	// Cycles is the simulated cycle count at 2 GHz.
+	Cycles uint64
+
+	// EdgeUtilization is the achieved fraction of edge-memory bandwidth.
+	EdgeUtilization float64
+	// Vertex-memory bandwidth fractions (Fig. 10 bars).
+	VertexUsefulFrac   float64
+	VertexWriteFrac    float64
+	VertexWastefulFrac float64
+	// Time attribution (Fig. 6): overfetch overhead vs processing.
+	ProcessingSeconds float64
+	OverheadSeconds   float64
+	// CacheHitRate of the MPU vertex caches.
+	CacheHitRate float64
+	// OnChipBytes is the modeled on-chip storage.
+	OnChipBytes int64
+	// Spills, DirectPushes, SpillWrites, StaleRetrievals and
+	// MetadataBytes instrument the Table I spilling trade-offs.
+	Spills          uint64
+	DirectPushes    uint64
+	SpillWrites     uint64
+	StaleRetrievals uint64
+	MetadataBytes   uint64
+	// NetworkBytes and NetworkInterBytes count fabric traffic.
+	NetworkBytes      uint64
+	NetworkInterBytes uint64
+	// LoadImbalance is max(per-PE propagations)/mean (1.0 = balanced).
+	LoadImbalance float64
+}
+
+// GTEPS returns effective throughput: sequential-work edges per second in
+// billions (the paper's headline metric), computed against the graph's
+// total edge count as a neutral denominator.
+func (r *Report) GTEPS(g *graph.CSR) float64 {
+	if r.Stats.SimSeconds <= 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / r.Stats.SimSeconds / 1e9
+}
+
+// Run executes p on g and returns a detailed report.
+func (a *Accelerator) Run(p program.Program, g *graph.CSR) (*Report, error) {
+	cc, err := a.cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	part, err := a.cfg.partition(g, cc.GPNs, cc.PEsPerGPN)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cc, g, part)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sys.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromCore(res), nil
+}
+
+func reportFromCore(res *core.Result) *Report {
+	u, w, waste := res.VertexBWFractions()
+	return &Report{
+		Props:              res.Props,
+		Stats:              res.Stats,
+		Cycles:             uint64(res.Ticks),
+		EdgeUtilization:    res.EdgeUtilization,
+		VertexUsefulFrac:   u,
+		VertexWriteFrac:    w,
+		VertexWastefulFrac: waste,
+		ProcessingSeconds:  res.ProcessingSeconds,
+		OverheadSeconds:    res.OverheadSeconds,
+		CacheHitRate:       res.CacheHitRate,
+		OnChipBytes:        res.OnChipBytes,
+		Spills:             res.VMU.Spills,
+		DirectPushes:       res.VMU.DirectPushes,
+		SpillWrites:        res.VMU.SpillWrites,
+		StaleRetrievals:    res.VMU.StaleRetrievals,
+		MetadataBytes:      res.VMU.MetadataBytes,
+		NetworkBytes:       res.Net.Bytes,
+		NetworkInterBytes:  res.Net.InterBytes,
+		LoadImbalance:      res.LoadImbalance(),
+	}
+}
+
+// RunTraced executes p on g while recording simulator activity (MGU
+// propagation spans, VMU prefetch batches, drains, BSP barriers) and
+// writes a Chrome trace-event JSON file (chrome://tracing, Perfetto) to w.
+func (a *Accelerator) RunTraced(p program.Program, g *graph.CSR, w io.Writer) (*Report, error) {
+	cc, err := a.cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	part, err := a.cfg.partition(g, cc.GPNs, cc.PEsPerGPN)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewSystem(cc, g, part)
+	if err != nil {
+		return nil, err
+	}
+	tr := trace.New(cc.ClockHz)
+	sys.SetTracer(tr)
+	res, err := sys.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := tr.WriteJSON(w); err != nil {
+		return nil, fmt.Errorf("nova: writing trace: %w", err)
+	}
+	return reportFromCore(res), nil
+}
+
+// RunProgram implements program.Runner.
+func (a *Accelerator) RunProgram(p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
+	rep, err := a.Run(p, g)
+	if err != nil {
+		return nil, program.RunStats{}, err
+	}
+	return rep.Props, rep.Stats, nil
+}
+
+var _ program.Runner = (*Accelerator)(nil)
+
+// SequentialEdges exposes the work-efficiency denominator for a workload
+// on a graph (Beamer's metric; see Section II-A).
+func SequentialEdges(g *graph.CSR, root graph.VertexID, workload string, prIters int) int64 {
+	return ref.SequentialEdges(g, root, workload, prIters)
+}
+
+// Verify checks accelerator output against the sequential oracles. It
+// returns nil when the distances (BFS/SSSP) or labels (CC) match exactly.
+func Verify(workload string, g *graph.CSR, root graph.VertexID, props []program.Prop) error {
+	var want []int64
+	switch workload {
+	case "bfs":
+		want = ref.BFS(g, root)
+	case "sssp":
+		want = ref.SSSP(g, root)
+	case "cc":
+		want = ref.CC(g)
+	default:
+		return fmt.Errorf("nova: Verify does not support workload %q", workload)
+	}
+	for v := range want {
+		got := int64(props[v])
+		if props[v] == program.Inf {
+			got = -1
+		}
+		if got != want[v] {
+			return fmt.Errorf("nova: vertex %d: got %d, want %d", v, got, want[v])
+		}
+	}
+	return nil
+}

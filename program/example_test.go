@@ -1,0 +1,37 @@
+package program_test
+
+import (
+	"fmt"
+
+	"nova/graph"
+	"nova/program"
+)
+
+// ExampleExec runs SSSP functionally — the reference semantics every
+// simulated engine must match.
+func ExampleExec() {
+	g := graph.FromEdges("path", 3, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 4},
+		{Src: 1, Dst: 2, Weight: 3},
+	})
+	props, stats := program.Exec(program.NewSSSP(0), g)
+	fmt.Println("distances:", props[0], props[1], props[2])
+	fmt.Println("edges traversed:", stats.EdgesTraversed)
+	// Output:
+	// distances: 0 4 7
+	// edges traversed: 2
+}
+
+// ExampleSynchronous converts asynchronous BFS into its level-synchronous
+// BSP form.
+func ExampleSynchronous() {
+	g := graph.FromEdges("path", 3, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+	})
+	p := program.Synchronous(program.NewBFS(0))
+	props, stats := program.Exec(p, g)
+	fmt.Println(p.Name(), "distances:", props[0], props[1], props[2], "epochs:", stats.Epochs)
+	// Output:
+	// bfs-bsp distances: 0 1 2 epochs: 3
+}

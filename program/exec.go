@@ -1,0 +1,166 @@
+package program
+
+import (
+	"fmt"
+
+	"nova/graph"
+)
+
+// Exec is the functional reference executor: it runs a Program to
+// completion with no timing model, defining the canonical semantics every
+// simulated engine must match. It also returns the same statistics the
+// engines report, which makes it useful for unit-testing workloads and for
+// sanity-checking engine message counts.
+//
+// The async schedule is a FIFO worklist with pending-vertex coalescing;
+// for the monotone reduce functions used by the paper's workloads the
+// fixed point is schedule-independent.
+func Exec(p Program, g *graph.CSR) ([]Prop, RunStats) {
+	switch p.Mode() {
+	case Async:
+		return execAsync(p, g)
+	case BSP:
+		bp, ok := p.(BSPProgram)
+		if !ok {
+			panic(fmt.Sprintf("program: %s declares BSP mode but is not a BSPProgram", p.Name()))
+		}
+		return execBSP(bp, g)
+	default:
+		panic(fmt.Sprintf("program: unknown mode %d", p.Mode()))
+	}
+}
+
+func initProps(p Program, g *graph.CSR) []Prop {
+	props := make([]Prop, g.NumVertices())
+	for v := range props {
+		props[v] = p.InitProp(graph.VertexID(v), g)
+	}
+	return props
+}
+
+func execAsync(p Program, g *graph.CSR) ([]Prop, RunStats) {
+	props := initProps(p, g)
+	var stats RunStats
+	su, _ := p.(SelfUpdating)
+	n := g.NumVertices()
+	pending := make([]bool, n)
+	queue := make([]graph.VertexID, 0, n)
+	push := func(v graph.VertexID) {
+		if !pending[v] {
+			pending[v] = true
+			queue = append(queue, v)
+		}
+	}
+	for _, v := range p.InitActive(g) {
+		push(v)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		pending[v] = false
+		prop := props[v]
+		if su != nil {
+			props[v], prop = su.OnPropagate(v, props[v])
+		}
+		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+		outDeg := hi - lo
+		for i := lo; i < hi; i++ {
+			delta, ok := p.Propagate(prop, g.Weight[i], outDeg)
+			if !ok {
+				continue
+			}
+			stats.EdgesTraversed++
+			stats.MessagesSent++
+			dst := g.Dst[i]
+			next := p.Reduce(dst, props[dst], delta)
+			if next != props[dst] {
+				props[dst] = next
+				if pending[dst] {
+					stats.MessagesCoalesced++
+				}
+				push(dst)
+			}
+		}
+	}
+	return props, stats
+}
+
+func execBSP(p BSPProgram, g *graph.CSR) ([]Prop, RunStats) {
+	props := initProps(p, g)
+	var stats RunStats
+	n := g.NumVertices()
+	sched, _ := p.(ScheduledProgram)
+	prep, _ := p.(PropPreparer)
+
+	inSet := make([]bool, n)
+	active := make([]graph.VertexID, 0, n)
+	addActive := func(v graph.VertexID) {
+		if !inSet[v] {
+			inSet[v] = true
+			active = append(active, v)
+		}
+	}
+	for _, v := range p.InitActive(g) {
+		addActive(v)
+	}
+	if sched != nil {
+		for _, v := range sched.EpochActive(0, g) {
+			addActive(v)
+		}
+	}
+
+	accum := make([]Prop, n)
+	touched := make([]bool, n)
+	var touchedList []graph.VertexID
+
+	for epoch := 0; len(active) > 0; epoch++ {
+		if m := p.MaxEpochs(); m > 0 && epoch >= m {
+			break
+		}
+		stats.Epochs++
+		// Message-generation half: every active vertex propagates.
+		for _, v := range active {
+			prop := props[v]
+			if prep != nil {
+				prop = prep.PrepareProp(v, prop)
+			}
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			outDeg := hi - lo
+			for i := lo; i < hi; i++ {
+				delta, ok := p.Propagate(prop, g.Weight[i], outDeg)
+				if !ok {
+					continue
+				}
+				stats.EdgesTraversed++
+				stats.MessagesSent++
+				dst := g.Dst[i]
+				if !touched[dst] {
+					touched[dst] = true
+					accum[dst] = p.AccumInit()
+					touchedList = append(touchedList, dst)
+				} else {
+					stats.MessagesCoalesced++
+				}
+				accum[dst] = p.Reduce(dst, accum[dst], delta)
+			}
+			inSet[v] = false
+		}
+		active = active[:0]
+		// Barrier: apply accumulated updates, collect next active set.
+		for _, v := range touchedList {
+			newProp, activate := p.Apply(v, props[v], accum[v], g)
+			props[v] = newProp
+			touched[v] = false
+			if activate {
+				addActive(v)
+			}
+		}
+		touchedList = touchedList[:0]
+		if sched != nil {
+			for _, v := range sched.EpochActive(epoch+1, g) {
+				addActive(v)
+			}
+		}
+	}
+	return props, stats
+}

@@ -1,0 +1,78 @@
+package program_test
+
+import (
+	"math"
+	"testing"
+
+	"nova/graph"
+	"nova/internal/ref"
+	"nova/program"
+)
+
+// strongGraph builds a graph where every vertex has at least one out-edge
+// and one in-edge (a cycle plus random chords), so PR-delta's fixpoint
+// matches the power-iteration limit without dangling-mass differences.
+func strongGraph(n, chords int, seed int64) *graph.CSR {
+	edges := make([]graph.Edge, 0, n+chords)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID((i + 1) % n), Weight: 1})
+	}
+	s := seed
+	next := func(mod int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		v := int((s >> 33) % int64(mod))
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	for i := 0; i < chords; i++ {
+		edges = append(edges, graph.Edge{
+			Src: graph.VertexID(next(n)), Dst: graph.VertexID(next(n)), Weight: 1})
+	}
+	return graph.FromEdges("strong", n, edges)
+}
+
+func TestPRDeltaConvergesToPageRank(t *testing.T) {
+	g := strongGraph(300, 1200, 7)
+	props, stats := program.Exec(program.NewPRDelta(0.85, 1e-7), g)
+	// Power iteration run long enough to converge.
+	want := ref.PageRank(g, 0.85, 120)
+	for v := range want {
+		got := program.PRDeltaRank(props[v])
+		if math.Abs(got-want[v]) > 5e-4+1e-2*want[v] {
+			t.Fatalf("vertex %d: pr-delta %v, power iteration %v", v, got, want[v])
+		}
+	}
+	if stats.EdgesTraversed == 0 || stats.MessagesCoalesced == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPRDeltaToleranceBoundsWork(t *testing.T) {
+	// A looser tolerance must strictly reduce traversal work.
+	g := strongGraph(300, 1200, 9)
+	_, tight := program.Exec(program.NewPRDelta(0.85, 1e-8), g)
+	_, loose := program.Exec(program.NewPRDelta(0.85, 1e-3), g)
+	if loose.EdgesTraversed >= tight.EdgesTraversed {
+		t.Fatalf("loose tol traversed %d edges, tight %d — tolerance not bounding work",
+			loose.EdgesTraversed, tight.EdgesTraversed)
+	}
+}
+
+func TestPRDeltaDefaults(t *testing.T) {
+	p := program.NewPRDelta(-3, -1)
+	if p.Name() != "pr-delta" || p.Mode() != program.Async {
+		t.Fatalf("identity wrong: %s %v", p.Name(), p.Mode())
+	}
+	if _, ok := p.(program.SelfUpdating); !ok {
+		t.Fatal("pr-delta must be SelfUpdating")
+	}
+	// Zero out-degree and zero residual suppress messages.
+	if _, ok := p.Propagate(0, 1, 0); ok {
+		t.Fatal("outdeg 0 propagated")
+	}
+	if _, ok := p.Propagate(0, 1, 5); ok {
+		t.Fatal("zero residual propagated")
+	}
+}

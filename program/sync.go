@@ -1,0 +1,47 @@
+package program
+
+import "nova/graph"
+
+// Synchronous converts an asynchronous monotone program (BFS, SSSP, CC)
+// into its level-synchronous BSP equivalent: messages accumulate with the
+// same reduce function each epoch and fold into the property at the
+// barrier; a vertex re-activates when the epoch improved it. Section III-A
+// of the paper: NOVA executes both models on the same hardware, with BSP
+// enforcing the serial blue→red ordering through the decoupled
+// next_active set.
+func Synchronous(p Program) BSPProgram {
+	if p.Mode() != Async {
+		panic("program: Synchronous wraps asynchronous programs only")
+	}
+	return syncWrap{p}
+}
+
+type syncWrap struct {
+	inner Program
+}
+
+func (s syncWrap) Name() string { return s.inner.Name() + "-bsp" }
+func (syncWrap) Mode() Mode     { return BSP }
+
+func (s syncWrap) InitProp(v graph.VertexID, g *graph.CSR) Prop { return s.inner.InitProp(v, g) }
+func (s syncWrap) InitActive(g *graph.CSR) []graph.VertexID     { return s.inner.InitActive(g) }
+
+// AccumInit uses the current property as the accumulator identity; since
+// the underlying reduce is monotone (min-like), reducing messages into Inf
+// and comparing at Apply is equivalent.
+func (syncWrap) AccumInit() Prop { return Inf }
+
+func (s syncWrap) Reduce(v graph.VertexID, cur, delta Prop) Prop {
+	return s.inner.Reduce(v, cur, delta)
+}
+
+func (s syncWrap) Propagate(prop Prop, w uint32, outDeg int64) (Prop, bool) {
+	return s.inner.Propagate(prop, w, outDeg)
+}
+
+func (s syncWrap) Apply(v graph.VertexID, cur, accum Prop, g *graph.CSR) (Prop, bool) {
+	next := s.inner.Reduce(v, cur, accum)
+	return next, next != cur
+}
+
+func (syncWrap) MaxEpochs() int { return 0 }

@@ -1,0 +1,174 @@
+package program
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nova/graph"
+)
+
+func TestPRIsScheduled(t *testing.T) {
+	g := graph.GenUniform("u", 100, 4, 1, 1)
+	p := NewPageRank(0.85, 3)
+	sched, ok := p.(ScheduledProgram)
+	if !ok {
+		t.Fatal("PageRank must be a ScheduledProgram (topology-driven)")
+	}
+	if got := len(sched.EpochActive(0, g)); got != 100 {
+		t.Fatalf("epoch 0 active = %d, want all 100", got)
+	}
+	if sched.EpochActive(3, g) != nil {
+		t.Fatal("EpochActive beyond MaxEpochs must be nil")
+	}
+	if p.MaxEpochs() != 3 {
+		t.Fatalf("MaxEpochs = %d", p.MaxEpochs())
+	}
+	// Bad constructor arguments fall back to sane defaults.
+	q := NewPageRank(-1, 0)
+	if q.MaxEpochs() != 10 {
+		t.Fatalf("default epochs = %d", q.MaxEpochs())
+	}
+}
+
+func TestPRPropagateSuppressesZeroOutDegree(t *testing.T) {
+	p := NewPageRank(0.85, 1)
+	if _, ok := p.Propagate(FromFloat(0.5), 1, 0); ok {
+		t.Fatal("zero-out-degree vertex must not propagate")
+	}
+	d, ok := p.Propagate(FromFloat(0.5), 1, 5)
+	if !ok || d.Float() != 0.1 {
+		t.Fatalf("propagate = (%v, %v), want 0.1", d.Float(), ok)
+	}
+}
+
+func TestBCPackRoundTrip(t *testing.T) {
+	f := func(depth uint16, sigma uint64) bool {
+		sigma &= (1 << 48) - 1
+		p := bcPack(depth, sigma)
+		return bcDepth(p) == depth && bcSigma(p) == sigma
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBCBackwardReduceFiltersByDepth(t *testing.T) {
+	// Forward state: vertex 0 at depth 1.
+	fwd := []Prop{bcPack(1, 2), bcPack(2, 1)}
+	b := NewBCBackward(fwd).(interface {
+		Reduce(v graph.VertexID, cur, delta Prop) Prop
+	})
+	cur := FromFloat(0)
+	// A contribution from depth 2 (child level) is accepted at depth 1.
+	accepted := b.Reduce(0, cur, bcMsgPack(2, 0.5))
+	if accepted.Float() != 0.5 {
+		t.Fatalf("child contribution rejected: %v", accepted.Float())
+	}
+	// A contribution from depth 1 (same level) is not a DAG edge.
+	rejected := b.Reduce(0, cur, bcMsgPack(1, 0.5))
+	if rejected != cur {
+		t.Fatal("same-level contribution accepted")
+	}
+	// A contribution to an unreached vertex is dropped.
+	unreached := []Prop{bcPack(bcUnreached, 0)}
+	b2 := NewBCBackward(unreached).(interface {
+		Reduce(v graph.VertexID, cur, delta Prop) Prop
+	})
+	if got := b2.Reduce(0, cur, bcMsgPack(1, 0.5)); got != cur {
+		t.Fatal("unreached vertex accepted a contribution")
+	}
+}
+
+func TestBCBackwardPrepareProp(t *testing.T) {
+	fwd := []Prop{bcPack(1, 4)}
+	b := NewBCBackward(fwd).(PropPreparer)
+	// δ(v)=1, σ(v)=4 → contribution (1+1)/4 = 0.5 tagged with depth 1.
+	msg := b.PrepareProp(0, FromFloat(1))
+	if bcMsgDepth(msg) != 1 {
+		t.Fatalf("depth tag = %d", bcMsgDepth(msg))
+	}
+	if c := bcMsgContrib(msg); c != 0.5 {
+		t.Fatalf("contribution = %v, want 0.5", c)
+	}
+	// σ = 0 must not divide by zero.
+	zero := NewBCBackward([]Prop{bcPack(1, 0)}).(PropPreparer)
+	if c := bcMsgContrib(zero.PrepareProp(0, FromFloat(1))); c != 0 {
+		t.Fatalf("σ=0 contribution = %v, want 0", c)
+	}
+}
+
+func TestBCBackwardSchedule(t *testing.T) {
+	// Depths 0,1,1,2 → levels walked: epoch 0 = depth 2, epoch 1 = depth 1.
+	fwd := []Prop{bcPack(0, 1), bcPack(1, 1), bcPack(1, 1), bcPack(2, 2)}
+	b := NewBCBackward(fwd).(ScheduledProgram)
+	g := graph.FromEdges("x", 4, nil)
+	if got := b.EpochActive(0, g); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("epoch 0 = %v, want [3]", got)
+	}
+	if got := b.EpochActive(1, g); len(got) != 2 {
+		t.Fatalf("epoch 1 = %v, want the two depth-1 vertices", got)
+	}
+	// Level 0 (the root) never propagates backward.
+	if got := b.EpochActive(2, g); got != nil {
+		t.Fatalf("epoch 2 = %v, want nil", got)
+	}
+}
+
+func TestWorkloadNamesAndModes(t *testing.T) {
+	progs := []Program{NewBFS(0), NewSSSP(0), NewCC(), NewPageRank(0.85, 5), NewBCForward(0)}
+	wantName := []string{"bfs", "sssp", "cc", "pr", "bc-forward"}
+	wantMode := []Mode{Async, Async, Async, BSP, BSP}
+	for i, p := range progs {
+		if p.Name() != wantName[i] {
+			t.Errorf("name %q, want %q", p.Name(), wantName[i])
+		}
+		if p.Mode() != wantMode[i] {
+			t.Errorf("%s: mode %v, want %v", p.Name(), p.Mode(), wantMode[i])
+		}
+	}
+	if Async.String() != "async" || BSP.String() != "bsp" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestSynchronousWrapperMatchesAsync(t *testing.T) {
+	f := func(seed int64) bool {
+		g := graph.GenUniform("u", 60, 5, 8, seed)
+		root := g.LargestOutDegreeVertex()
+		async, _ := Exec(NewSSSP(root), g)
+		sync, st := Exec(Synchronous(NewSSSP(root)), g)
+		for v := range async {
+			if async[v] != sync[v] {
+				return false
+			}
+		}
+		return st.Epochs > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSynchronousWrapperLevelCount(t *testing.T) {
+	// On a path graph, synchronous BFS needs exactly depth epochs.
+	var edges []graph.Edge
+	for i := 0; i < 9; i++ {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(i), Dst: graph.VertexID(i + 1), Weight: 1})
+	}
+	g := graph.FromEdges("path", 10, edges)
+	_, st := Exec(Synchronous(NewBFS(0)), g)
+	// Depth-9 path: 9 frontier epochs plus one final epoch in which the
+	// sink (just improved, hence re-activated) has nothing to propagate.
+	if st.Epochs != 10 {
+		t.Fatalf("epochs = %d, want 10 (level-synchronous)", st.Epochs)
+	}
+}
+
+func TestSynchronousRejectsBSP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Synchronous accepted a BSP program")
+		}
+	}()
+	Synchronous(NewPageRank(0.85, 5))
+}

@@ -1,0 +1,84 @@
+package nova
+
+import (
+	"fmt"
+
+	"nova/graph"
+	"nova/internal/ref"
+	"nova/program"
+)
+
+// WorkloadNames lists the paper's five evaluation workloads in Fig. 4
+// order. BFS, CC and SSSP run asynchronously; PR and BC run bulk-
+// synchronously (Section V).
+var WorkloadNames = []string{"bfs", "sssp", "cc", "pr", "bc"}
+
+// Outcome is the engine-agnostic result of running one workload through a
+// program.Runner, with the sequential-work denominator attached so both
+// throughput metrics of the paper are computable.
+type Outcome struct {
+	Workload string
+	Stats    program.RunStats
+	// SequentialEdges is the edges a sequential implementation traverses
+	// (Beamer's work-efficiency numerator).
+	SequentialEdges int64
+	// Props holds the final properties (nil for BC, which returns Scores).
+	Props []program.Prop
+	// Scores holds BC dependency values.
+	Scores []float64
+}
+
+// WorkEfficiency returns sequential edges / traversed edges.
+func (o *Outcome) WorkEfficiency() float64 {
+	return o.Stats.WorkEfficiency(o.SequentialEdges)
+}
+
+// EffectiveGTEPS returns useful giga-edges per second — the metric the
+// paper's figures plot (TEPS × work efficiency).
+func (o *Outcome) EffectiveGTEPS() float64 {
+	return o.Stats.EffectiveGTEPS(o.SequentialEdges)
+}
+
+// RunWorkload executes the named workload on any engine implementing
+// program.Runner. The transpose gT is needed only for "bc"; "cc" expects a
+// symmetric graph. prIters configures PageRank (≤0 means 10).
+func RunWorkload(r program.Runner, name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*Outcome, error) {
+	if prIters <= 0 {
+		prIters = 10
+	}
+	o := &Outcome{
+		Workload:        name,
+		SequentialEdges: ref.SequentialEdges(g, root, name, prIters),
+	}
+	var p program.Program
+	switch name {
+	case "bfs":
+		p = program.NewBFS(root)
+	case "sssp":
+		p = program.NewSSSP(root)
+	case "cc":
+		p = program.NewCC()
+	case "pr":
+		p = program.NewPageRank(0.85, prIters)
+	case "bc":
+		if gT == nil {
+			gT = g.Transpose()
+		}
+		scores, stats, err := program.RunBC(r, g, gT, root)
+		if err != nil {
+			return nil, err
+		}
+		o.Scores = scores
+		o.Stats = stats
+		return o, nil
+	default:
+		return nil, fmt.Errorf("nova: unknown workload %q", name)
+	}
+	props, stats, err := r.RunProgram(p, g)
+	if err != nil {
+		return nil, err
+	}
+	o.Props = props
+	o.Stats = stats
+	return o, nil
+}
