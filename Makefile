@@ -1,0 +1,31 @@
+# Build/test/bench entry points. `make bench` records the perf
+# trajectory of the harness sweep (sequential vs parallel wall clock per
+# figure) into BENCH_harness.json.
+
+GO ?= go
+
+BENCH_OUT   ?= BENCH_harness.json
+BENCH_JOBS  ?= 4
+BENCH_SCALE ?= small
+BENCH_FIGS  ?= fig1,fig2,fig4,fig10
+
+.PHONY: all build vet test race bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench: build
+	$(GO) run ./cmd/experiments -scale $(BENCH_SCALE) -only $(BENCH_FIGS) \
+		-jobs $(BENCH_JOBS) -bench $(BENCH_OUT) -quiet > /dev/null
+	@cat $(BENCH_OUT)

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"nova/graph"
+	"nova/internal/harness"
 	"nova/internal/ligra"
 	"nova/internal/polygraph"
+	"nova/internal/ref"
 	"nova/program"
 )
 
@@ -86,6 +88,71 @@ func (b *PolyGraphBaseline) RunProgram(p program.Program, g *graph.CSR) ([]progr
 
 var _ program.Runner = (*PolyGraphBaseline)(nil)
 
+// Engine returns the harness view of the PolyGraph baseline. Each
+// RunWorkload call owns a private simulation, so the engine is safe for
+// concurrent use by harness.Pool workers.
+//
+// Metrics-bag keys: processing_seconds, switching_seconds,
+// inefficiency_seconds, slice_count, rounds, slice_passes,
+// edge_bw_share. The two-phase "bc" workload reports Stats only.
+func (b *PolyGraphBaseline) Engine() harness.Engine { return pgEngine{b} }
+
+type pgEngine struct{ b *PolyGraphBaseline }
+
+func (e pgEngine) Name() string { return "polygraph" }
+
+func (e pgEngine) Fingerprint() string {
+	cfg := e.b.config()
+	return fmt.Sprintf("polygraph{onchip=%d bw=%.1f forceslices=%d}",
+		cfg.OnChipBytes, cfg.MemBandwidth, cfg.ForceSlices)
+}
+
+func (e pgEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+	prIters := w.PRIters
+	if prIters <= 0 {
+		prIters = 10
+	}
+	out := &harness.Report{
+		Engine:          e.Name(),
+		Fingerprint:     e.Fingerprint(),
+		Workload:        w.Name,
+		SequentialEdges: ref.SequentialEdges(w.G, w.Root, w.Name, prIters),
+	}
+	if w.Name == "bc" {
+		gT := w.GT
+		if gT == nil {
+			gT = w.G.Transpose()
+		}
+		scores, stats, err := program.RunBC(e.b, w.G, gT, w.Root)
+		if err != nil {
+			return nil, err
+		}
+		out.Scores, out.Stats = scores, stats
+		return out, nil
+	}
+	p, err := workloadProgram(w.Name, w.Root, prIters)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.b.Run(p, w.G)
+	if err != nil {
+		return nil, err
+	}
+	out.Props, out.Stats = rep.Props, rep.Stats
+	out.Metrics = map[string]float64{
+		"processing_seconds":   rep.ProcessingSeconds,
+		"switching_seconds":    rep.SwitchingSeconds,
+		"inefficiency_seconds": rep.InefficiencySeconds,
+		"slice_count":          float64(rep.SliceCount),
+		"rounds":               float64(rep.Rounds),
+		"slice_passes":         float64(rep.SlicePasses),
+		"edge_bw_share":        rep.EdgeBandwidthShare,
+	}
+	return out, nil
+}
+
+var _ harness.Engine = pgEngine{}
+
 // Software runs the Ligra-style shared-memory framework on the host and
 // reports wall-clock performance — the paper's software reference point.
 type Software struct {
@@ -149,3 +216,69 @@ func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexI
 		return nil, fmt.Errorf("nova: unknown workload %q", name)
 	}
 }
+
+// Engine returns the harness view of the software framework. Stats report
+// wall-clock seconds (the software reference point measures real time, so
+// unlike the simulated engines its timings vary run to run and tighten
+// when cells share cores).
+//
+// Metrics-bag keys: iterations, wall_seconds. Distance outputs
+// (bfs/sssp/cc) convert to Props with -1 mapping to program.Inf;
+// PageRank ranks and BC scores land in Scores.
+func (s *Software) Engine() harness.Engine { return ligraEngine{s} }
+
+type ligraEngine struct{ s *Software }
+
+func (e ligraEngine) Name() string { return "ligra" }
+
+func (e ligraEngine) Fingerprint() string {
+	return fmt.Sprintf("ligra{threads=%d}", e.s.Threads)
+}
+
+func (e ligraEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+	prIters := w.PRIters
+	if prIters <= 0 {
+		prIters = 10
+	}
+	gT := w.GT
+	if gT == nil {
+		gT = w.G.Transpose()
+	}
+	rep, err := e.s.RunWorkload(w.Name, w.G, gT, w.Root, prIters)
+	if err != nil {
+		return nil, err
+	}
+	out := &harness.Report{
+		Engine:          e.Name(),
+		Fingerprint:     e.Fingerprint(),
+		Workload:        w.Name,
+		SequentialEdges: ref.SequentialEdges(w.G, w.Root, w.Name, prIters),
+		Stats: program.RunStats{
+			SimSeconds:     rep.Seconds,
+			EdgesTraversed: rep.EdgesTraversed,
+		},
+		Metrics: map[string]float64{
+			"iterations":   float64(rep.Iterations),
+			"wall_seconds": rep.Seconds,
+		},
+	}
+	if rep.Dists != nil {
+		out.Props = make([]program.Prop, len(rep.Dists))
+		for i, d := range rep.Dists {
+			if d < 0 {
+				out.Props[i] = program.Inf
+			} else {
+				out.Props[i] = program.Prop(d)
+			}
+		}
+	}
+	switch {
+	case rep.Ranks != nil:
+		out.Scores = rep.Ranks
+	case rep.Scores != nil:
+		out.Scores = rep.Scores
+	}
+	return out, nil
+}
+
+var _ harness.Engine = ligraEngine{}

@@ -13,11 +13,14 @@
 package nova_test
 
 import (
+	"context"
 	"io"
 	"os"
+	"strconv"
 	"testing"
 
 	"nova/internal/exp"
+	"nova/internal/harness"
 )
 
 // benchScale escalates with -bench time budget via NOVA_BENCH_SCALE.
@@ -42,9 +45,19 @@ func runExperiment(b *testing.B, id string) {
 	}
 	// Warm the dataset cache outside the timed region.
 	exp.Datasets(scale)
+	// NOVA_BENCH_JOBS sets the harness worker count (default sequential,
+	// so timings stay comparable with earlier baselines).
+	pool := &harness.Pool{Workers: 1}
+	if v := os.Getenv("NOVA_BENCH_JOBS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Workers = n
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		table, err := runner(scale)
+		table, err := runner(context.Background(), scale, pool)
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

@@ -3,21 +3,29 @@
 //
 // Usage:
 //
-//	experiments -scale small|medium|full [-only fig4,tab1] [-markdown]
+//	experiments -scale small|medium|full [-only fig4,tab1] [-jobs N] [-markdown]
 //
 // Each experiment prints the same rows/series the paper reports, plus a
-// note recalling the paper's expected shape.
+// note recalling the paper's expected shape. Independent simulation cells
+// fan out over -jobs worker goroutines through the harness pool; tables
+// land on stdout (byte-identical at any -jobs value for the simulated
+// engines), progress and timing lines on stderr. -bench FILE additionally
+// re-runs each experiment sequentially and records the wall-clock
+// comparison as JSON.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
 	"time"
 
 	"nova/internal/exp"
+	"nova/internal/harness"
 )
 
 func main() {
@@ -25,6 +33,9 @@ func main() {
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation cells per experiment")
+	benchPath := flag.String("bench", "", "also run each experiment at -jobs 1 and write the wall-clock comparison JSON here")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	flag.Parse()
 
 	if *list {
@@ -39,17 +50,37 @@ func main() {
 	}
 	ids := exp.IDs()
 	if *onlyFlag != "" {
+		// Validate the full ID list up front — an unknown ID must fail
+		// before any experiment burns time — and keep the user's order.
 		ids = strings.Split(*onlyFlag, ",")
-		sort.Strings(ids)
-	}
-	fmt.Printf("NOVA reproduction experiments — scale=%s\n", scale)
-	for _, id := range ids {
-		runner, ok := exp.All[id]
-		if !ok {
-			fatal(fmt.Errorf("unknown experiment %q (use -list)", id))
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+			if _, ok := exp.All[ids[i]]; !ok {
+				fatal(fmt.Errorf("unknown experiment %q (use -list)", ids[i]))
+			}
 		}
-		start := time.Now()
-		table, err := runner(scale)
+	}
+	ctx := context.Background()
+	fmt.Printf("NOVA reproduction experiments — scale=%s\n", scale)
+	if *benchPath != "" {
+		// Pre-build the dataset registry so the timed sequential and
+		// parallel sweeps pay no one-time generation cost.
+		exp.Warm(scale)
+	}
+
+	type benchEntry struct {
+		Jobs       int     `json:"jobs"`
+		Cells      int     `json:"cells"`
+		SeqMillis  float64 `json:"seq_ms"`
+		ParMillis  float64 `json:"par_ms"`
+		Speedup    float64 `json:"speedup"`
+		CellsBusy  float64 `json:"cells_busy_ms"`
+	}
+	bench := map[string]benchEntry{}
+
+	for _, id := range ids {
+		runner := exp.All[id]
+		table, st, err := runOne(ctx, runner, id, scale, *jobs, !*quiet)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
@@ -58,8 +89,74 @@ func main() {
 		} else {
 			table.Render(os.Stdout)
 		}
-		fmt.Printf("  [%s completed in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "  [%s completed in %v, %d cells, jobs=%d]\n",
+			id, st.wall.Round(time.Millisecond), st.cells, *jobs)
+		if *benchPath != "" {
+			_, seq, err := runOne(ctx, runner, id, scale, 1, false)
+			if err != nil {
+				fatal(fmt.Errorf("%s (sequential bench): %w", id, err))
+			}
+			speedup := 0.0
+			if st.wall > 0 {
+				speedup = float64(seq.wall) / float64(st.wall)
+			}
+			bench[id] = benchEntry{
+				Jobs:       *jobs,
+				Cells:      st.cells,
+				SeqMillis:  float64(seq.wall) / float64(time.Millisecond),
+				ParMillis:  float64(st.wall) / float64(time.Millisecond),
+				Speedup:    speedup,
+				CellsBusy:  float64(st.busy) / float64(time.Millisecond),
+			}
+			fmt.Fprintf(os.Stderr, "  [%s bench: seq %v vs jobs=%d %v → %.2fx]\n",
+				id, seq.wall.Round(time.Millisecond), *jobs, st.wall.Round(time.Millisecond), speedup)
+		}
 	}
+	if *benchPath != "" {
+		out := struct {
+			Scale    string                `json:"scale"`
+			Jobs     int                   `json:"jobs"`
+			MaxProcs int                   `json:"gomaxprocs"`
+			Figures  map[string]benchEntry `json:"figures"`
+		}{scale.String(), *jobs, runtime.GOMAXPROCS(0), bench}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*benchPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wall-clock comparison written to %s\n", *benchPath)
+	}
+}
+
+// sweepStats aggregates one experiment run: wall clock, cumulative busy
+// time across cells (the sequential-equivalent cost), and cell count.
+type sweepStats struct {
+	wall  time.Duration
+	busy  time.Duration
+	cells int
+}
+
+func runOne(ctx context.Context, runner exp.Runner, id string, scale exp.Scale, jobs int, progress bool) (*exp.Table, sweepStats, error) {
+	var st sweepStats
+	pool := &harness.Pool{Workers: jobs}
+	pool.OnDone = func(ev harness.Event) {
+		st.busy += ev.Elapsed
+		st.cells++
+		if progress {
+			status := ""
+			if ev.Err != nil {
+				status = " FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "  [%s %d/%d] %s (%v)%s\n",
+				id, ev.Done, ev.Total, ev.Name, ev.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	start := time.Now()
+	table, err := runner(ctx, scale, pool)
+	st.wall = time.Since(start)
+	return table, st, err
 }
 
 func fatal(err error) {

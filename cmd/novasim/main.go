@@ -1,27 +1,37 @@
-// Command novasim runs a single workload on a single engine and prints
-// the full metrics report — the quickest way to poke at the simulator.
+// Command novasim runs workloads on the simulated engines and prints the
+// full metrics report — the quickest way to poke at the simulator.
 //
 // Usage:
 //
 //	novasim -engine nova -workload sssp -graph twitter -gpns 2 -scale small
 //	novasim -engine polygraph -workload bfs -graph urand
 //	novasim -engine ligra -workload pr -graph road
+//
+// Comma-separated lists (or "all") sweep the engine×workload grid through
+// the harness pool, fanning cells out over -jobs workers:
+//
+//	novasim -engine all -workload bfs,pr -graph twitter -jobs 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"nova"
 	"nova/graph"
 	"nova/internal/exp"
+	"nova/internal/harness"
 	"nova/program"
 )
 
 func main() {
-	engine := flag.String("engine", "nova", "nova|polygraph|ligra")
-	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc")
+	engine := flag.String("engine", "nova", "nova|polygraph|ligra, comma-separated list, or all")
+	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc, comma-separated list, or all")
 	graphName := flag.String("graph", "twitter", "road|twitter|friendster|host|urand")
 	scaleFlag := flag.String("scale", "small", "small|medium|full")
 	gpns := flag.Int("gpns", 1, "number of GPNs (nova engine)")
@@ -32,6 +42,7 @@ func main() {
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
 	graphFile := flag.String("graph-file", "", "load graph from an edge-list file instead of the registry")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
+	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
 	flag.Parse()
 
 	scale, err := exp.ParseScale(*scaleFlag)
@@ -48,6 +59,14 @@ func main() {
 		d, err = exp.DatasetByName(scale, *graphName)
 		check(err)
 	}
+
+	engines := splitList(*engine, []string{"nova", "polygraph", "ligra"})
+	workloads := splitList(*workload, nova.WorkloadNames)
+	if len(engines)*len(workloads) > 1 {
+		runSweep(scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN)
+		return
+	}
+
 	g := d.Graph
 	var gT = d.Transpose()
 	if *workload == "cc" {
@@ -153,4 +172,87 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "novasim:", err)
 		os.Exit(1)
 	}
+}
+
+// splitList parses a comma-separated flag value, expanding "all".
+func splitList(v string, all []string) []string {
+	if v == "all" {
+		return all
+	}
+	parts := strings.Split(v, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// buildEngine assembles one harness engine from the command-line knobs.
+func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill, fabric string) (harness.Engine, error) {
+	switch name {
+	case "nova":
+		cfg := exp.NOVAConfig(scale, gpns)
+		cfg.Mapping = mapping
+		cfg.Spill = spill
+		cfg.Fabric = fabric
+		return exp.NovaEngineWith(cfg)
+	case "polygraph":
+		return exp.PGEngine(scale), nil
+	case "ligra":
+		return exp.LigraEngine(), nil
+	default:
+		return nil, fmt.Errorf("unknown engine %q", name)
+	}
+}
+
+// runSweep fans the engine×workload grid out over the harness pool and
+// prints one summary line per cell, in grid order, plus the wall-clock
+// cost of the sweep vs its sequential equivalent.
+func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int) {
+	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
+		d.Graph.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
+	var jobs []harness.Job[*harness.Report]
+	for _, en := range engines {
+		eng, err := buildEngine(en, scale, gpns, mapping, spill, fabric)
+		check(err)
+		for _, w := range workloads {
+			eng, w := eng, w
+			g, gT := d.Graph, d.Transpose()
+			if w == "cc" {
+				g = d.Sym()
+				gT = g
+			}
+			jobs = append(jobs, harness.Job[*harness.Report]{
+				Name: fmt.Sprintf("%s/%s", eng.Name(), w),
+				Run: func(context.Context) (*harness.Report, error) {
+					return eng.RunWorkload(harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters})
+				},
+			})
+		}
+	}
+	var busy time.Duration
+	pool := &harness.Pool{Workers: jobsN, OnDone: func(ev harness.Event) {
+		busy += ev.Elapsed
+		fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%v)\n", ev.Done, ev.Total, ev.Name, ev.Elapsed.Round(time.Millisecond))
+	}}
+	start := time.Now()
+	results := harness.Map(context.Background(), pool, jobs)
+	wall := time.Since(start)
+
+	fmt.Printf("%-10s %-8s %12s %14s %12s %10s\n", "engine", "workload", "time(ms)", "edges", "eff-gteps", "work-eff")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-10s %s\n", r.Name, r.Err)
+			continue
+		}
+		rep := r.Value
+		fmt.Printf("%-10s %-8s %12.3f %14d %12.3f %10.3f\n",
+			rep.Engine, rep.Workload, rep.Stats.SimSeconds*1e3, rep.Stats.EdgesTraversed,
+			rep.EffectiveGTEPS(), rep.WorkEfficiency())
+	}
+	speedup := 0.0
+	if wall > 0 {
+		speedup = float64(busy) / float64(wall)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d cells in %v wall (%v busy, jobs=%d, %.2fx vs sequential)\n",
+		len(jobs), wall.Round(time.Millisecond), busy.Round(time.Millisecond), jobsN, speedup)
 }

@@ -2,9 +2,12 @@ package exp
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
+
+	"nova/internal/harness"
 )
 
 func TestParseScale(t *testing.T) {
@@ -132,7 +135,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 // TestStaticExperiments runs the cheap (analytic) experiments fully.
 func TestStaticExperiments(t *testing.T) {
 	for _, id := range []string{"tab2", "tab3", "tab4", "tab5"} {
-		tb, err := All[id](Small)
+		tb, err := All[id](context.Background(), Small, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
@@ -145,7 +148,7 @@ func TestStaticExperiments(t *testing.T) {
 // TestTab3SliceColumnConsistent verifies the rendered slice column agrees
 // with the paper column in the output itself.
 func TestTab3SliceColumnConsistent(t *testing.T) {
-	tb, err := Tab3(Small)
+	tb, err := Tab3(context.Background(), Small, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,18 +162,51 @@ func TestTab3SliceColumnConsistent(t *testing.T) {
 }
 
 // TestQuickSimulatedExperiments smoke-runs the cheapest simulation-backed
-// experiments end-to-end at small scale.
+// experiments end-to-end at small scale, through a concurrent pool.
 func TestQuickSimulatedExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-backed experiments skipped in -short mode")
 	}
+	pool := &harness.Pool{Workers: 4}
 	for _, id := range []string{"fig2", "fig8", "tab1"} {
-		tb, err := All[id](Small)
+		tb, err := All[id](context.Background(), Small, pool)
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 		if len(tb.Rows) == 0 {
 			t.Fatalf("%s: no rows", id)
+		}
+	}
+}
+
+// render flattens a table so worker-count determinism is comparable
+// byte-for-byte.
+func render(t *Table) string {
+	var buf bytes.Buffer
+	t.Render(&buf)
+	return buf.String()
+}
+
+// TestPoolDeterminism is the acceptance check for the harness refactor:
+// a figure rendered through a 1-worker pool and a 4-worker pool must be
+// byte-identical (the simulated engines are deterministic; result order
+// is fixed by submission order, not completion order).
+func TestPoolDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiments skipped in -short mode")
+	}
+	for _, id := range []string{"fig2", "fig8"} {
+		seq, err := All[id](context.Background(), Small, &harness.Pool{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		par, err := All[id](context.Background(), Small, &harness.Pool{Workers: 4})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if render(seq) != render(par) {
+			t.Errorf("%s: jobs=1 and jobs=4 tables differ:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s",
+				id, render(seq), render(par))
 		}
 	}
 }

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"context"
+
+	"nova"
+	"nova/internal/harness"
+)
+
+// This file holds the job constructors shared by every figure/table
+// runner: they replace the build-accelerator/run/collect boilerplate that
+// used to repeat in each loop body, and adapt the three engines to the
+// harness layer at experiment scale.
+
+// NovaEngine returns the scaled NOVA engine (Table II organization,
+// cache shrunk with the graphs) as a harness.Engine.
+func NovaEngine(s Scale, gpns int) (harness.Engine, error) {
+	acc, err := nova.New(NOVAConfig(s, gpns))
+	if err != nil {
+		return nil, err
+	}
+	return acc.Engine(), nil
+}
+
+// NovaEngineWith wraps an explicit configuration (cache sweeps, mapping
+// and fabric sensitivity) as a harness.Engine.
+func NovaEngineWith(cfg nova.Config) (harness.Engine, error) {
+	acc, err := nova.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return acc.Engine(), nil
+}
+
+// PGEngine returns the scaled iso-bandwidth PolyGraph baseline as a
+// harness.Engine.
+func PGEngine(s Scale) harness.Engine { return PGBaseline(s).Engine() }
+
+// PGEngineSlices forces the PolyGraph slice count (Fig. 2 sweep).
+func PGEngineSlices(s Scale, slices int) harness.Engine {
+	pg := PGBaseline(s)
+	pg.ForceSlices = slices
+	return pg.Engine()
+}
+
+// LigraEngine returns the software reference engine.
+func LigraEngine() harness.Engine { return (&nova.Software{}).Engine() }
+
+// cell builds the harness.Workload for one (dataset, workload) grid cell,
+// picking the right graph orientation.
+func cell(d *Dataset, w string, prIters int) harness.Workload {
+	g, gT := workloadGraph(d, w)
+	return harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters}
+}
+
+// novaPG runs one cell on a fresh scaled NOVA engine and on the PolyGraph
+// baseline — the comparison nearly every figure is built from.
+func novaPG(s Scale, w harness.Workload) (novaRep, pgRep *harness.Report, err error) {
+	ne, err := NovaEngine(s, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	if novaRep, err = ne.RunWorkload(w); err != nil {
+		return nil, nil, err
+	}
+	if pgRep, err = PGEngine(s).RunWorkload(w); err != nil {
+		return nil, nil, err
+	}
+	return novaRep, pgRep, nil
+}
+
+// rowJob is a pool job producing one finished table row.
+type rowJob = harness.Job[[]string]
+
+// runRows fans the row jobs out over the pool and collects rows in
+// submission order, so tables are byte-identical at any worker count.
+func runRows(ctx context.Context, p *harness.Pool, jobs []rowJob) ([][]string, error) {
+	return harness.Values(harness.Map(ctx, p, jobs))
+}
+
+// runReports fans report-producing jobs out over the pool; figures whose
+// rows normalize against a baseline cell collect all reports first.
+func runReports(ctx context.Context, p *harness.Pool, jobs []harness.Job[*harness.Report]) ([]*harness.Report, error) {
+	return harness.Values(harness.Map(ctx, p, jobs))
+}

@@ -1,17 +1,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"nova"
+	"nova/internal/harness"
 	"nova/internal/resource"
-	"nova/program"
 )
 
 // Tab1 reproduces Table I: the spilling-method trade-offs, measured by
 // running the same workload under both VMU policies.
-func Tab1(s Scale) (*Table, error) {
+func Tab1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 	d, err := DatasetByName(s, "twitter")
 	if err != nil {
 		return nil, err
@@ -22,32 +22,45 @@ func Tab1(s Scale) (*Table, error) {
 		Header: []string{"policy", "spills", "extra-writes/spill", "stale-retrievals",
 			"metadata-bytes", "time(ms)"},
 	}
+	var jobs []rowJob
 	for _, policy := range []string{"overwrite", "fifo"} {
-		cfg := NOVAConfig(s, 1)
-		cfg.Spill = policy
-		cfg.ActiveBufferEntries = 8
-		acc, err := nova.New(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := acc.Run(program.NewSSSP(d.Root), d.Graph)
-		if err != nil {
-			return nil, err
-		}
-		perSpill := 0.0
-		if rep.Spills > 0 {
-			perSpill = float64(rep.SpillWrites) / float64(rep.Spills)
-		}
-		t.AddRow(policy, fmt.Sprint(rep.Spills), f2(perSpill),
-			fmt.Sprint(rep.StaleRetrievals), fmt.Sprint(rep.MetadataBytes),
-			f3(rep.Stats.SimSeconds*1e3))
+		policy := policy
+		jobs = append(jobs, rowJob{
+			Name: fmt.Sprintf("tab1/%s", policy),
+			Run: func(context.Context) ([]string, error) {
+				cfg := NOVAConfig(s, 1)
+				cfg.Spill = policy
+				cfg.ActiveBufferEntries = 8
+				eng, err := NovaEngineWith(cfg)
+				if err != nil {
+					return nil, err
+				}
+				rep, err := eng.RunWorkload(cell(d, "sssp", 0))
+				if err != nil {
+					return nil, err
+				}
+				perSpill := 0.0
+				if rep.Metric("spills") > 0 {
+					perSpill = rep.Metric("spill_writes") / rep.Metric("spills")
+				}
+				return []string{policy, fmt.Sprint(int64(rep.Metric("spills"))), f2(perSpill),
+					fmt.Sprint(int64(rep.Metric("stale_retrievals"))),
+					fmt.Sprint(int64(rep.Metric("metadata_bytes"))),
+					f3(rep.Stats.SimSeconds * 1e3)}, nil
+			},
+		})
 	}
+	rows, err := runRows(ctx, pool, jobs)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	t.Note("paper: overwriting in the vertex set needs 1 write per spill, no metadata, no duplicate entries")
 	return t, nil
 }
 
 // Tab2 prints the Table II system specification as configured.
-func Tab2(s Scale) (*Table, error) {
+func Tab2(_ context.Context, s Scale, _ *harness.Pool) (*Table, error) {
 	cfg := NOVAConfig(s, 1)
 	t := &Table{
 		ID:     "tab2",
@@ -68,7 +81,7 @@ func Tab2(s Scale) (*Table, error) {
 
 // Tab3 reproduces Table III: the dataset registry with the slice counts
 // each graph needs under the (scaled) PolyGraph scratchpad.
-func Tab3(s Scale) (*Table, error) {
+func Tab3(_ context.Context, s Scale, _ *harness.Pool) (*Table, error) {
 	t := &Table{
 		ID:     "tab3",
 		Title:  fmt.Sprintf("Graph workloads (scale=%s); slice counts must match the paper", s),
@@ -87,7 +100,7 @@ func Tab3(s Scale) (*Table, error) {
 }
 
 // Tab4 reproduces Table IV: resources to support WDC12.
-func Tab4(Scale) (*Table, error) {
+func Tab4(context.Context, Scale, *harness.Pool) (*Table, error) {
 	t := &Table{
 		ID:     "tab4",
 		Title:  "Requirements to support WDC12 (3.5B vertices, 128B edges)",
@@ -112,7 +125,7 @@ func Tab4(Scale) (*Table, error) {
 
 // Tab5 reproduces Table V: FPGA resource composition for one GPN and the
 // multi-GPN capacity of an Alveo U280.
-func Tab5(Scale) (*Table, error) {
+func Tab5(context.Context, Scale, *harness.Pool) (*Table, error) {
 	t := &Table{
 		ID:     "tab5",
 		Title:  "FPGA implementation, 1 GPN at 1 GHz (post-synthesis costs from the paper)",
@@ -148,8 +161,10 @@ func fmtBytes(b int64) string {
 	}
 }
 
-// Runner executes one experiment at a scale.
-type Runner func(Scale) (*Table, error)
+// Runner executes one experiment at a scale, fanning its independent
+// cells out over the harness pool (nil pool = sequential). Row order is
+// deterministic regardless of the worker count.
+type Runner func(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error)
 
 // All maps experiment IDs to runners, covering every table and figure in
 // the paper's evaluation.

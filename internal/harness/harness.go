@@ -1,0 +1,87 @@
+// Package harness unifies the three execution engines (NOVA, PolyGraph,
+// Ligra) behind one Engine interface and fans independent simulation jobs
+// out over a worker pool. Every figure and table of the evaluation is a
+// grid of independent cells; the harness is the substrate that runs those
+// cells concurrently while keeping result order deterministic.
+//
+// The package deliberately depends only on graph and program so the nova
+// root package can implement adapters without an import cycle.
+package harness
+
+import (
+	"nova/graph"
+	"nova/program"
+)
+
+// Workload names one cell of the evaluation grid: a named workload on a
+// graph with its traversal root. GT (the transpose) is needed only for
+// "bc"; "cc" expects a symmetrized graph in G.
+type Workload struct {
+	// Name is one of "bfs", "sssp", "cc", "pr", "bc".
+	Name string
+	// G is the graph to process (symmetrized for "cc").
+	G *graph.CSR
+	// GT is the transpose (required by "bc"; engines fall back to
+	// computing it when nil).
+	GT *graph.CSR
+	// Root is the traversal source for bfs/sssp/bc.
+	Root graph.VertexID
+	// PRIters configures PageRank (≤0 means 10).
+	PRIters int
+}
+
+// Engine is the unified view of an execution backend. Implementations
+// must be safe for concurrent RunWorkload calls: each call owns a private
+// simulation instance.
+type Engine interface {
+	// Name identifies the backend ("nova", "polygraph", "ligra").
+	Name() string
+	// Fingerprint is a stable, human-readable rendering of the engine's
+	// configuration, so two reports are comparable iff fingerprints match.
+	Fingerprint() string
+	// RunWorkload executes one cell and returns the unified report.
+	RunWorkload(w Workload) (*Report, error)
+}
+
+// Report is the engine-agnostic outcome of one run. Backend-specific
+// detail (slice counts, cache hit rates, spill counters, …) travels in
+// the Metrics bag so the experiment layer never needs the native report
+// types.
+type Report struct {
+	// Engine and Fingerprint identify the backend and its configuration.
+	Engine      string
+	Fingerprint string
+	// Workload is the cell's workload name.
+	Workload string
+	// Stats is the engine-agnostic summary common to all backends.
+	Stats program.RunStats
+	// SequentialEdges is the work-efficiency denominator (Beamer's
+	// metric): edges a sequential implementation traverses.
+	SequentialEdges int64
+	// Props holds final vertex properties (nil for "bc").
+	Props []program.Prop
+	// Scores holds BC dependency values (nil otherwise).
+	Scores []float64
+	// Metrics is the backend-specific metrics bag. Keys used by the
+	// built-in adapters are documented next to each adapter.
+	Metrics map[string]float64
+}
+
+// Metric returns a metrics-bag entry, or 0 when absent.
+func (r *Report) Metric(key string) float64 {
+	if r == nil || r.Metrics == nil {
+		return 0
+	}
+	return r.Metrics[key]
+}
+
+// WorkEfficiency returns sequential edges / traversed edges.
+func (r *Report) WorkEfficiency() float64 {
+	return r.Stats.WorkEfficiency(r.SequentialEdges)
+}
+
+// EffectiveGTEPS returns useful giga-edges per second — the throughput
+// metric the paper's figures plot.
+func (r *Report) EffectiveGTEPS() float64 {
+	return r.Stats.EffectiveGTEPS(r.SequentialEdges)
+}

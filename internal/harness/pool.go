@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Job is one independent unit of work in a sweep: typically a single
+// simulation cell, or one table row built from a few engine runs. The Run
+// function must be self-contained — jobs may execute concurrently and in
+// any order.
+type Job[T any] struct {
+	// Name labels the job in progress events and error messages.
+	Name string
+	// Timeout bounds this job's execution (0 = the pool default; the
+	// pool default 0 = unbounded).
+	Timeout time.Duration
+	// Run produces the job's value. ctx is cancelled when the sweep is
+	// cancelled or the job times out; long-running jobs should check it
+	// between phases when they can.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Result pairs a job's value with its error and wall-clock cost. Results
+// are returned in submission order regardless of completion order.
+type Result[T any] struct {
+	// Name echoes the job name.
+	Name string
+	// Value is the job's output (zero on error).
+	Value T
+	// Err is non-nil when the job failed, panicked, timed out, or was
+	// cancelled before it could run.
+	Err error
+	// Elapsed is the job's wall-clock duration (0 for jobs never started).
+	Elapsed time.Duration
+}
+
+// Event describes one completed job for progress reporting.
+type Event struct {
+	// Index is the job's submission index; Done of Total jobs have
+	// completed (including this one).
+	Index, Done, Total int
+	// Name and Err echo the job outcome; Elapsed is its wall clock.
+	Name    string
+	Err     error
+	Elapsed time.Duration
+}
+
+// Pool fans independent jobs out over worker goroutines. The zero value
+// is a sequential pool sized by GOMAXPROCS; a Pool is stateless between
+// Map calls and may be reused.
+type Pool struct {
+	// Workers bounds concurrent jobs (≤0 = GOMAXPROCS).
+	Workers int
+	// JobTimeout is the default per-job timeout (0 = unbounded).
+	JobTimeout time.Duration
+	// OnDone, when non-nil, is called serially as each job completes —
+	// the hook for progress lines.
+	OnDone func(Event)
+}
+
+func (p *Pool) workers(jobs int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs every job and returns one result per job, in submission order.
+// A nil pool behaves like the zero Pool. Cancellation of ctx stops
+// dispatching new jobs; already-running jobs finish and report their own
+// results (their private simulators do not observe ctx) while
+// undispatched jobs report ctx.Err(). A panicking job fails its own cell
+// only.
+func Map[T any](ctx context.Context, p *Pool, jobs []Job[T]) []Result[T] {
+	if p == nil {
+		p = &Pool{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result[T], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serializes OnDone and the done counter
+	done := 0
+	for w := 0; w < p.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				timeout := jobs[i].Timeout
+				if timeout == 0 {
+					timeout = p.JobTimeout
+				}
+				results[i] = runJob(ctx, jobs[i], timeout)
+				mu.Lock()
+				done++
+				if p.OnDone != nil {
+					p.OnDone(Event{Index: i, Done: done, Total: len(jobs),
+						Name: results[i].Name, Err: results[i].Err, Elapsed: results[i].Elapsed})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			// Mark everything not yet dispatched as cancelled.
+			for j := i; j < len(jobs); j++ {
+				select {
+				case indices <- j:
+					// A worker freed up between checks; let it run (it
+					// will observe the cancelled ctx itself).
+				default:
+					results[j] = Result[T]{Name: jobs[j].Name,
+						Err: fmt.Errorf("harness: job %q: %w", jobs[j].Name, ctx.Err())}
+				}
+			}
+			break dispatch
+		}
+	}
+	close(indices)
+	wg.Wait()
+	return results
+}
+
+// runJob executes one job with panic capture and an optional timeout. A
+// started job always reports its own result even if the sweep is
+// cancelled while it runs — cancellation only stops dispatch. A timeout,
+// by contrast, abandons the job: it runs on its own goroutine so the
+// worker can move on, and a timed-out simulation keeps running in the
+// background until it finishes (the discrete-event engines do not poll
+// ctx), but its result is discarded.
+func runJob[T any](ctx context.Context, job Job[T], timeout time.Duration) Result[T] {
+	if err := ctx.Err(); err != nil {
+		return Result[T]{Name: job.Name, Err: fmt.Errorf("harness: job %q: %w", job.Name, err)}
+	}
+	jctx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	ch := make(chan Result[T], 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- Result[T]{Name: job.Name,
+					Err: fmt.Errorf("harness: job %q panicked: %v\n%s", job.Name, r, debug.Stack())}
+			}
+		}()
+		v, err := job.Run(jctx)
+		if err != nil {
+			err = fmt.Errorf("harness: job %q: %w", job.Name, err)
+		}
+		ch <- Result[T]{Name: job.Name, Value: v, Err: err}
+	}()
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		select {
+		case r := <-ch:
+			r.Elapsed = time.Since(start)
+			return r
+		case <-timer.C:
+			// One last non-blocking look: the job may have finished in
+			// the same instant the timer fired.
+			select {
+			case r := <-ch:
+				r.Elapsed = time.Since(start)
+				return r
+			default:
+			}
+			return Result[T]{Name: job.Name, Elapsed: time.Since(start),
+				Err: fmt.Errorf("harness: job %q timed out after %v: %w",
+					job.Name, timeout, context.DeadlineExceeded)}
+		}
+	}
+	r := <-ch
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// FirstErr returns the first error across results, in submission order.
+func FirstErr[T any](results []Result[T]) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Values unwraps results into their values, returning the first error
+// encountered (in submission order) if any job failed.
+func Values[T any](results []Result[T]) ([]T, error) {
+	if err := FirstErr(results); err != nil {
+		return nil, err
+	}
+	vals := make([]T, len(results))
+	for i, r := range results {
+		vals[i] = r.Value
+	}
+	return vals, nil
+}

@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func intJob(name string, f func(ctx context.Context) (int, error)) Job[int] {
+	return Job[int]{Name: name, Run: f}
+}
+
+func TestMapDeterministicOrdering(t *testing.T) {
+	// Jobs finish in reverse submission order (earlier jobs sleep
+	// longer); results must still come back in submission order.
+	const n = 16
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = intJob(fmt.Sprint(i), func(context.Context) (int, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return i * i, nil
+		})
+	}
+	results := Map(context.Background(), &Pool{Workers: 8}, jobs)
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Value != i*i {
+			t.Fatalf("result %d = %d, want %d", i, r.Value, i*i)
+		}
+		if r.Name != fmt.Sprint(i) {
+			t.Fatalf("result %d name = %q", i, r.Name)
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("result %d has no elapsed time", i)
+		}
+	}
+}
+
+func TestMapPanicIsolation(t *testing.T) {
+	jobs := []Job[int]{
+		intJob("ok-before", func(context.Context) (int, error) { return 1, nil }),
+		intJob("boom", func(context.Context) (int, error) { panic("kaboom") }),
+		intJob("ok-after", func(context.Context) (int, error) { return 3, nil }),
+	}
+	results := Map(context.Background(), &Pool{Workers: 2}, jobs)
+	if results[0].Err != nil || results[0].Value != 1 {
+		t.Fatalf("job 0: %+v", results[0])
+	}
+	if results[2].Err != nil || results[2].Value != 3 {
+		t.Fatalf("job 2 must survive a sibling panic: %+v", results[2])
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured as error: %v", results[1].Err)
+	}
+	if !strings.Contains(results[1].Err.Error(), "pool_test.go") {
+		t.Fatalf("panic error should carry a stack trace: %v", results[1].Err)
+	}
+}
+
+func TestMapCancellationMidSweep(t *testing.T) {
+	// One worker; the first job cancels the sweep. The remaining jobs
+	// must report ctx.Err() without running.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	jobs := []Job[int]{
+		intJob("canceller", func(context.Context) (int, error) {
+			ran.Add(1)
+			cancel()
+			return 1, nil
+		}),
+	}
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, intJob(fmt.Sprintf("later-%d", i), func(ctx context.Context) (int, error) {
+			if ctx.Err() == nil {
+				ran.Add(1) // only counts if it truly ran uncancelled
+			}
+			return 0, ctx.Err()
+		}))
+	}
+	results := Map(ctx, &Pool{Workers: 1}, jobs)
+	if results[0].Err != nil {
+		t.Fatalf("first job should complete: %v", results[0].Err)
+	}
+	cancelled := 0
+	for _, r := range results[1:] {
+		if r.Err != nil && errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled != len(jobs)-1 {
+		t.Fatalf("cancelled %d of %d follow-up jobs", cancelled, len(jobs)-1)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d jobs ran work after cancellation, want only the first", got-1)
+	}
+}
+
+func TestMapPerJobTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	jobs := []Job[int]{
+		{Name: "slow", Timeout: 10 * time.Millisecond, Run: func(context.Context) (int, error) {
+			<-block
+			return 0, nil
+		}},
+		intJob("fast", func(context.Context) (int, error) { return 42, nil }),
+	}
+	start := time.Now()
+	results := Map(context.Background(), &Pool{Workers: 1}, jobs)
+	if results[0].Err == nil || !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("slow job should time out: %v", results[0].Err)
+	}
+	// The timed-out job must release its worker so the next job runs.
+	if results[1].Err != nil || results[1].Value != 42 {
+		t.Fatalf("fast job after timeout: %+v", results[1])
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not release the worker (took %v)", elapsed)
+	}
+}
+
+func TestMapPoolDefaultTimeout(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	p := &Pool{Workers: 1, JobTimeout: 10 * time.Millisecond}
+	results := Map(context.Background(), p, []Job[int]{
+		intJob("hung", func(context.Context) (int, error) { <-block; return 0, nil }),
+	})
+	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("pool default timeout not applied: %v", results[0].Err)
+	}
+}
+
+func TestMapProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	p := &Pool{Workers: 4, OnDone: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}}
+	const n = 10
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = intJob(fmt.Sprint(i), func(context.Context) (int, error) { return i, nil })
+	}
+	if err := FirstErr(Map(context.Background(), p, jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	seen := map[int]bool{}
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != n {
+			t.Fatalf("event %d: Done=%d Total=%d", i, ev.Done, ev.Total)
+		}
+		if seen[ev.Index] {
+			t.Fatalf("index %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+	}
+}
+
+func TestMapNilPoolAndEmptyJobs(t *testing.T) {
+	if got := Map[int](context.Background(), nil, nil); len(got) != 0 {
+		t.Fatalf("empty job list returned %d results", len(got))
+	}
+	results := Map(nil, nil, []Job[int]{
+		intJob("one", func(context.Context) (int, error) { return 7, nil }),
+	})
+	if results[0].Err != nil || results[0].Value != 7 {
+		t.Fatalf("nil pool/ctx run: %+v", results[0])
+	}
+}
+
+func TestValues(t *testing.T) {
+	good := []Result[int]{{Value: 1}, {Value: 2}}
+	vals, err := Values(good)
+	if err != nil || len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("Values(good) = %v, %v", vals, err)
+	}
+	bad := []Result[int]{{Value: 1}, {Err: errors.New("x")}}
+	if _, err := Values(bad); err == nil {
+		t.Fatal("Values must surface job errors")
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	var cur, peak atomic.Int32
+	const workers = 3
+	jobs := make([]Job[int], 12)
+	for i := range jobs {
+		jobs[i] = intJob(fmt.Sprint(i), func(context.Context) (int, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		})
+	}
+	if err := FirstErr(Map(context.Background(), &Pool{Workers: workers}, jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, worker bound is %d", p, workers)
+	}
+}

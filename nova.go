@@ -18,6 +18,7 @@ import (
 
 	"nova/graph"
 	"nova/internal/core"
+	"nova/internal/harness"
 	"nova/internal/ref"
 	"nova/internal/trace"
 	"nova/program"
@@ -275,6 +276,93 @@ func (a *Accelerator) RunProgram(p program.Program, g *graph.CSR) ([]program.Pro
 
 var _ program.Runner = (*Accelerator)(nil)
 
+// Engine returns the harness view of the accelerator. Each RunWorkload
+// call builds a private core.System, so the engine is safe for concurrent
+// use by harness.Pool workers.
+//
+// Metrics-bag keys: cycles, edge_utilization, vertex_useful_frac,
+// vertex_write_frac, vertex_wasteful_frac, processing_seconds,
+// overhead_seconds, cache_hit_rate, onchip_bytes, spills, direct_pushes,
+// spill_writes, stale_retrievals, metadata_bytes, network_bytes,
+// network_inter_bytes, load_imbalance. The two-phase "bc" workload
+// reports Stats only.
+func (a *Accelerator) Engine() harness.Engine { return novaEngine{a} }
+
+type novaEngine struct{ acc *Accelerator }
+
+func (e novaEngine) Name() string { return "nova" }
+
+func (e novaEngine) Fingerprint() string {
+	c := e.acc.cfg
+	return fmt.Sprintf("nova{gpns=%d pes=%d cache=%d sbdim=%d abuf=%d spill=%s fabric=%s mapping=%s seed=%d}",
+		c.GPNs, c.PEsPerGPN, c.CacheBytesPerPE, c.SuperblockDim, c.ActiveBufferEntries,
+		orDefault(c.Spill, "overwrite"), orDefault(c.Fabric, "hierarchical"),
+		orDefault(c.Mapping, "random"), c.Seed)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+	prIters := w.PRIters
+	if prIters <= 0 {
+		prIters = 10
+	}
+	out := &harness.Report{
+		Engine:          e.Name(),
+		Fingerprint:     e.Fingerprint(),
+		Workload:        w.Name,
+		SequentialEdges: ref.SequentialEdges(w.G, w.Root, w.Name, prIters),
+	}
+	if w.Name == "bc" {
+		gT := w.GT
+		if gT == nil {
+			gT = w.G.Transpose()
+		}
+		scores, stats, err := program.RunBC(e.acc, w.G, gT, w.Root)
+		if err != nil {
+			return nil, err
+		}
+		out.Scores, out.Stats = scores, stats
+		return out, nil
+	}
+	p, err := workloadProgram(w.Name, w.Root, prIters)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := e.acc.Run(p, w.G)
+	if err != nil {
+		return nil, err
+	}
+	out.Props, out.Stats = rep.Props, rep.Stats
+	out.Metrics = map[string]float64{
+		"cycles":              float64(rep.Cycles),
+		"edge_utilization":    rep.EdgeUtilization,
+		"vertex_useful_frac":  rep.VertexUsefulFrac,
+		"vertex_write_frac":   rep.VertexWriteFrac,
+		"vertex_wasteful_frac": rep.VertexWastefulFrac,
+		"processing_seconds":  rep.ProcessingSeconds,
+		"overhead_seconds":    rep.OverheadSeconds,
+		"cache_hit_rate":      rep.CacheHitRate,
+		"onchip_bytes":        float64(rep.OnChipBytes),
+		"spills":              float64(rep.Spills),
+		"direct_pushes":       float64(rep.DirectPushes),
+		"spill_writes":        float64(rep.SpillWrites),
+		"stale_retrievals":    float64(rep.StaleRetrievals),
+		"metadata_bytes":      float64(rep.MetadataBytes),
+		"network_bytes":       float64(rep.NetworkBytes),
+		"network_inter_bytes": float64(rep.NetworkInterBytes),
+		"load_imbalance":      rep.LoadImbalance,
+	}
+	return out, nil
+}
+
+var _ harness.Engine = novaEngine{}
+
 // SequentialEdges exposes the work-efficiency denominator for a workload
 // on a graph (Beamer's metric; see Section II-A).
 func SequentialEdges(g *graph.CSR, root graph.VertexID, workload string, prIters int) int64 {
@@ -294,6 +382,9 @@ func Verify(workload string, g *graph.CSR, root graph.VertexID, props []program.
 		want = ref.CC(g)
 	default:
 		return fmt.Errorf("nova: Verify does not support workload %q", workload)
+	}
+	if len(props) != len(want) {
+		return fmt.Errorf("nova: Verify: got %d properties, want %d", len(props), len(want))
 	}
 	for v := range want {
 		got := int64(props[v])

@@ -39,6 +39,26 @@ func (o *Outcome) EffectiveGTEPS() float64 {
 	return o.Stats.EffectiveGTEPS(o.SequentialEdges)
 }
 
+// workloadProgram builds the single-phase program for a workload name.
+// "bc" is two-phase and handled separately via program.RunBC.
+func workloadProgram(name string, root graph.VertexID, prIters int) (program.Program, error) {
+	if prIters <= 0 {
+		prIters = 10
+	}
+	switch name {
+	case "bfs":
+		return program.NewBFS(root), nil
+	case "sssp":
+		return program.NewSSSP(root), nil
+	case "cc":
+		return program.NewCC(), nil
+	case "pr":
+		return program.NewPageRank(0.85, prIters), nil
+	default:
+		return nil, fmt.Errorf("nova: unknown workload %q", name)
+	}
+}
+
 // RunWorkload executes the named workload on any engine implementing
 // program.Runner. The transpose gT is needed only for "bc"; "cc" expects a
 // symmetric graph. prIters configures PageRank (≤0 means 10).
@@ -50,17 +70,7 @@ func RunWorkload(r program.Runner, name string, g, gT *graph.CSR, root graph.Ver
 		Workload:        name,
 		SequentialEdges: ref.SequentialEdges(g, root, name, prIters),
 	}
-	var p program.Program
-	switch name {
-	case "bfs":
-		p = program.NewBFS(root)
-	case "sssp":
-		p = program.NewSSSP(root)
-	case "cc":
-		p = program.NewCC()
-	case "pr":
-		p = program.NewPageRank(0.85, prIters)
-	case "bc":
+	if name == "bc" {
 		if gT == nil {
 			gT = g.Transpose()
 		}
@@ -71,8 +81,10 @@ func RunWorkload(r program.Runner, name string, g, gT *graph.CSR, root graph.Ver
 		o.Scores = scores
 		o.Stats = stats
 		return o, nil
-	default:
-		return nil, fmt.Errorf("nova: unknown workload %q", name)
+	}
+	p, err := workloadProgram(name, root, prIters)
+	if err != nil {
+		return nil, err
 	}
 	props, stats, err := r.RunProgram(p, g)
 	if err != nil {
