@@ -1,6 +1,7 @@
 # Build/test/bench entry points. `make bench` records the perf
 # trajectory of the harness sweep (sequential vs parallel wall clock per
-# figure) into BENCH_harness.json.
+# figure) into BENCH_harness.json; `make bench-sim` records the event
+# kernel's ns/event, allocs/event, and events/sec into BENCH_sim.json.
 
 GO ?= go
 
@@ -9,7 +10,9 @@ BENCH_JOBS  ?= 4
 BENCH_SCALE ?= small
 BENCH_FIGS  ?= fig1,fig2,fig4,fig10
 
-.PHONY: all build vet test race bench
+BENCH_SIM_OUT ?= BENCH_sim.json
+
+.PHONY: all build vet test race bench bench-sim
 
 all: build vet test
 
@@ -29,3 +32,7 @@ bench: build
 	$(GO) run ./cmd/experiments -scale $(BENCH_SCALE) -only $(BENCH_FIGS) \
 		-jobs $(BENCH_JOBS) -bench $(BENCH_OUT) -quiet > /dev/null
 	@cat $(BENCH_OUT)
+
+bench-sim: build
+	$(GO) run ./cmd/simbench -o $(BENCH_SIM_OUT)
+	@cat $(BENCH_SIM_OUT)

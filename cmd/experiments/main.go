@@ -26,6 +26,7 @@ import (
 
 	"nova/internal/exp"
 	"nova/internal/harness"
+	"nova/internal/prof"
 )
 
 func main() {
@@ -36,7 +37,9 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation cells per experiment")
 	benchPath := flag.String("bench", "", "also run each experiment at -jobs 1 and write the wall-clock comparison JSON here")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
+	defer profFlags.Start()()
 
 	if *list {
 		for _, id := range exp.IDs() {
@@ -69,12 +72,12 @@ func main() {
 	}
 
 	type benchEntry struct {
-		Jobs       int     `json:"jobs"`
-		Cells      int     `json:"cells"`
-		SeqMillis  float64 `json:"seq_ms"`
-		ParMillis  float64 `json:"par_ms"`
-		Speedup    float64 `json:"speedup"`
-		CellsBusy  float64 `json:"cells_busy_ms"`
+		Jobs      int     `json:"jobs"`
+		Cells     int     `json:"cells"`
+		SeqMillis float64 `json:"seq_ms"`
+		ParMillis float64 `json:"par_ms"`
+		Speedup   float64 `json:"speedup"`
+		CellsBusy float64 `json:"cells_busy_ms"`
 	}
 	bench := map[string]benchEntry{}
 
@@ -101,12 +104,12 @@ func main() {
 				speedup = float64(seq.wall) / float64(st.wall)
 			}
 			bench[id] = benchEntry{
-				Jobs:       *jobs,
-				Cells:      st.cells,
-				SeqMillis:  float64(seq.wall) / float64(time.Millisecond),
-				ParMillis:  float64(st.wall) / float64(time.Millisecond),
-				Speedup:    speedup,
-				CellsBusy:  float64(st.busy) / float64(time.Millisecond),
+				Jobs:      *jobs,
+				Cells:     st.cells,
+				SeqMillis: float64(seq.wall) / float64(time.Millisecond),
+				ParMillis: float64(st.wall) / float64(time.Millisecond),
+				Speedup:   speedup,
+				CellsBusy: float64(st.busy) / float64(time.Millisecond),
 			}
 			fmt.Fprintf(os.Stderr, "  [%s bench: seq %v vs jobs=%d %v → %.2fx]\n",
 				id, seq.wall.Round(time.Millisecond), *jobs, st.wall.Round(time.Millisecond), speedup)

@@ -26,6 +26,7 @@ import (
 	"nova/graph"
 	"nova/internal/exp"
 	"nova/internal/harness"
+	"nova/internal/prof"
 	"nova/program"
 )
 
@@ -43,7 +44,9 @@ func main() {
 	graphFile := flag.String("graph-file", "", "load graph from an edge-list file instead of the registry")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
+	profFlags := prof.RegisterFlags()
 	flag.Parse()
+	defer profFlags.Start()()
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	check(err)

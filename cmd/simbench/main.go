@@ -1,0 +1,175 @@
+// Command simbench measures the event-kernel hot paths with the standard
+// testing.Benchmark driver and writes the machine-readable record that
+// `make bench-sim` commits as BENCH_sim.json. The record keeps the seed
+// kernel's numbers (container/heap, closure events — measured on the same
+// benchmarks before the rewrite) alongside the current run so regressions
+// against either point are one jq expression away.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"nova/internal/sim"
+)
+
+// ticker is the pre-allocated recurring-event pattern the converted
+// components use: one Handler struct, one Event, Reschedule per cycle.
+type ticker struct {
+	e   *sim.Engine
+	ev  *sim.Event
+	n   int
+	max int
+}
+
+func (t *ticker) Fire() {
+	t.n++
+	if t.n < t.max {
+		t.e.Reschedule(t.ev, t.e.Now()+1)
+	}
+}
+
+// metric is one benchmark's normalized result.
+type metric struct {
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+func normalize(r testing.BenchmarkResult, eventsPerOp int) metric {
+	per := float64(eventsPerOp)
+	ns := float64(r.NsPerOp()) / per
+	if nsExact := float64(r.T.Nanoseconds()) / float64(r.N) / per; nsExact > 0 {
+		ns = nsExact
+	}
+	m := metric{
+		NsPerEvent:     ns,
+		AllocsPerEvent: float64(r.AllocsPerOp()) / per,
+		BytesPerEvent:  float64(r.AllocedBytesPerOp()) / per,
+	}
+	if ns > 0 {
+		m.EventsPerSec = 1e9 / ns
+	}
+	return m
+}
+
+// record is the BENCH_sim.json schema.
+type record struct {
+	Kernel     string            `json:"kernel"`
+	Benchmarks map[string]metric `json:"benchmarks"`
+	// SeedBaseline holds the same benchmarks measured on the seed kernel
+	// (container/heap priority queue, func() callbacks, no event pool).
+	SeedBaseline map[string]metric `json:"seed_baseline"`
+	// ThroughputSpeedupVsSeed is current event_throughput events/sec over
+	// the seed kernel's (the acceptance gate is >= 2).
+	ThroughputSpeedupVsSeed float64 `json:"throughput_speedup_vs_seed"`
+}
+
+// seedBaseline is the seed kernel measured on this repository at commit
+// 768385a with the identical benchmark bodies (ScheduleFunc was Schedule).
+func seedBaseline() map[string]metric {
+	mk := func(ns, allocs, bytes float64) metric {
+		return metric{NsPerEvent: ns, AllocsPerEvent: allocs, BytesPerEvent: bytes, EventsPerSec: 1e9 / ns}
+	}
+	return map[string]metric{
+		"event_throughput":    mk(56.78, 1, 32),
+		"schedule_deschedule": mk(50.08, 1, 32),
+		"fan_out":             mk(6970.0/64, 1, 32),
+	}
+}
+
+func benchThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	t := &ticker{e: e, max: b.N}
+	t.ev = sim.NewEvent(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.ScheduleEvent(t.ev, 0)
+	if err := e.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchThroughputFunc(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.ScheduleFunc(1, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.ScheduleFunc(0, tick)
+	if err := e.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchScheduleDeschedule(b *testing.B) {
+	e := sim.NewEngine()
+	h := sim.HandlerFunc(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1000, h)
+		e.Deschedule(ev)
+	}
+}
+
+func benchFanOut(b *testing.B) {
+	e := sim.NewEngine()
+	h := sim.HandlerFunc(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.Schedule(sim.Ticks(j%8), h)
+		}
+		if err := e.RunUntilQuiet(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output path")
+	flag.Parse()
+
+	rec := record{
+		Kernel: "intrusive-4ary-pooled",
+		Benchmarks: map[string]metric{
+			"event_throughput":      normalize(testing.Benchmark(benchThroughput), 1),
+			"event_throughput_func": normalize(testing.Benchmark(benchThroughputFunc), 1),
+			"schedule_deschedule":   normalize(testing.Benchmark(benchScheduleDeschedule), 1),
+			"fan_out":               normalize(testing.Benchmark(benchFanOut), 64),
+		},
+		SeedBaseline: seedBaseline(),
+	}
+	if seed := rec.SeedBaseline["event_throughput"].EventsPerSec; seed > 0 {
+		rec.ThroughputSpeedupVsSeed = rec.Benchmarks["event_throughput"].EventsPerSec / seed
+	}
+
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simbench: event_throughput %.2f ns/event (%.0f events/sec, %.2gx seed), %g allocs/event -> %s\n",
+		rec.Benchmarks["event_throughput"].NsPerEvent,
+		rec.Benchmarks["event_throughput"].EventsPerSec,
+		rec.ThroughputSpeedupVsSeed,
+		rec.Benchmarks["event_throughput"].AllocsPerEvent,
+		*out)
+}

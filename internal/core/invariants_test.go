@@ -69,10 +69,10 @@ func TestMidRunTrackerInvariants(t *testing.T) {
 			}
 		}
 		if sys.eng.Pending() > 1 { // more than just this checker
-			sys.eng.Schedule(sim.Ticks(500), check)
+			sys.eng.ScheduleFunc(sim.Ticks(500), check)
 		}
 	}
-	sys.eng.Schedule(100, check)
+	sys.eng.ScheduleFunc(100, check)
 	if _, err := sys.Run(program.NewSSSP(g.LargestOutDegreeVertex())); err != nil {
 		t.Fatal(err)
 	}

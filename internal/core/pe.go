@@ -44,6 +44,159 @@ type PE struct {
 	fifoTick    uint64
 	// edgesOut counts propagations this PE generated (load accounting).
 	edgesOut int64
+
+	// Pre-allocated event-handler pools: one free list per recurring
+	// schedule in the MPU/MGU pipelines, so steady-state simulation never
+	// allocates a closure per message, fill, fetch, or delivery.
+	freeReduce  *reduceTask
+	freeFill    *fillTask
+	freeProp    *propTask
+	freeDeliver *deliverTask
+	// vertsScratch collects a block's active vertices in pumpMGU.
+	vertsScratch []graph.VertexID
+}
+
+// reduceTask fires one message's reduce at its FU slot.
+type reduceTask struct {
+	pe   *PE
+	msg  program.Message
+	next *reduceTask
+}
+
+func (t *reduceTask) Fire() {
+	pe, msg := t.pe, t.msg
+	// Release before reducing: finishReduce can schedule further reduces
+	// and reuse this task immediately.
+	t.next = pe.freeReduce
+	pe.freeReduce = t
+	pe.finishReduce(msg)
+}
+
+// scheduleReduce books msg's reduction on the next free FU slot.
+func (pe *PE) scheduleReduce(msg program.Message) {
+	t := pe.freeReduce
+	if t == nil {
+		t = &reduceTask{pe: pe}
+	} else {
+		pe.freeReduce = t.next
+	}
+	t.msg = msg
+	pe.sys.eng.ScheduleAt(pe.nextReduceSlot(), t)
+}
+
+// fillTask fires when a vertex block returns from HBM.
+type fillTask struct {
+	pe    *PE
+	block uint64
+	next  *fillTask
+}
+
+func (t *fillTask) Fire() {
+	pe, block := t.pe, t.block
+	t.next = pe.freeFill
+	pe.freeFill = t
+	pe.fillDone(block)
+}
+
+func (pe *PE) newFillTask(block uint64) *fillTask {
+	t := pe.freeFill
+	if t == nil {
+		t = &fillTask{pe: pe}
+	} else {
+		pe.freeFill = t.next
+	}
+	t.block = block
+	return t
+}
+
+// propTask tracks one in-flight propagation batch: its Fire counts edge-
+// fetch completions, and the embedded gen handler fires the message-
+// generation stage. Both stages reuse the same pre-allocated object and
+// its verts backing array across launches.
+type propTask struct {
+	pe         *PE
+	verts      []graph.VertexID
+	totalEdges int64
+	launchTick sim.Ticks
+	pending    int
+	started    bool
+	gen        genStage
+	next       *propTask
+}
+
+// genStage is scheduled via a pointer into its owning propTask, so the
+// Handler conversion never allocates.
+type genStage struct{ t *propTask }
+
+func (g *genStage) Fire() { g.t.pe.generateMessages(g.t) }
+
+// Fire counts one completed edge-fetch chunk; the last one launches
+// message generation at PropagateFU rate.
+func (t *propTask) Fire() {
+	t.pending--
+	if t.pending == 0 && t.started {
+		t.scheduleGen()
+	}
+}
+
+func (t *propTask) scheduleGen() {
+	cfg := &t.pe.sys.cfg
+	dur := sim.Ticks((t.totalEdges + int64(cfg.PropagateFUs) - 1) / int64(cfg.PropagateFUs))
+	if dur == 0 {
+		dur = 1
+	}
+	t.pe.sys.eng.Schedule(dur, &t.gen)
+}
+
+func (pe *PE) newPropTask(verts []graph.VertexID, totalEdges int64) *propTask {
+	t := pe.freeProp
+	if t == nil {
+		t = &propTask{pe: pe}
+		t.gen.t = t
+	} else {
+		pe.freeProp = t.next
+	}
+	t.verts = append(t.verts[:0], verts...)
+	t.totalEdges = totalEdges
+	t.launchTick = pe.sys.eng.Now()
+	t.pending = 0
+	t.started = false
+	return t
+}
+
+func (pe *PE) releasePropTask(t *propTask) {
+	t.next = pe.freeProp
+	pe.freeProp = t
+}
+
+// deliverTask hands one message batch to its destination PE at arrival
+// time. The batch buffer stays with the task and is reused for the owning
+// PE's next send to any destination.
+type deliverTask struct {
+	owner  *PE
+	target *PE
+	msgs   []program.Message
+	next   *deliverTask
+}
+
+func (t *deliverTask) Fire() {
+	t.target.deliver(t.msgs)
+	t.target = nil
+	o := t.owner
+	t.next = o.freeDeliver
+	o.freeDeliver = t
+}
+
+func (pe *PE) newDeliverTask(target *PE, batch []program.Message) *deliverTask {
+	t := pe.freeDeliver
+	if t == nil {
+		t = &deliverTask{owner: pe}
+	} else {
+		pe.freeDeliver = t.next
+	}
+	t.target = target
+	t.msgs = append(t.msgs[:0], batch...)
+	return t
 }
 
 func (pe *PE) numBlocks() int {
@@ -134,15 +287,13 @@ func (pe *PE) nextReduceSlot() sim.Ticks {
 // reduce when the vertex block returns from HBM.
 func (pe *PE) pumpMPU() {
 	cfg := &pe.sys.cfg
-	eng := pe.sys.eng
 	for pe.inboxHead < len(pe.inbox) {
 		msg := pe.inbox[pe.inboxHead]
 		addr := pe.vaddr(msg.Dst)
 		block := pe.blockAddrOf(addr)
 		if pe.cache.Access(addr) {
 			pe.inboxHead++
-			m := msg
-			eng.ScheduleAt(pe.nextReduceSlot(), func() { pe.finishReduce(m) })
+			pe.scheduleReduce(msg)
 			continue
 		}
 		if waiters, ok := pe.pendingFill[block]; ok {
@@ -155,12 +306,11 @@ func (pe *PE) pumpMPU() {
 		}
 		pe.inboxHead++
 		pe.pendingFill[block] = []program.Message{msg}
-		b := block
 		pe.vchan.Access(mem.Request{
-			Addr:  b,
+			Addr:  block,
 			Bytes: cfg.BlockBytes,
 			Kind:  mem.UsefulRead,
-			Done:  func() { pe.fillDone(b) },
+			Done:  pe.newFillTask(block),
 		})
 	}
 	if pe.inboxHead == len(pe.inbox) {
@@ -176,10 +326,8 @@ func (pe *PE) fillDone(block uint64) {
 	pe.cache.Fill(block) // eviction hook: write-back + tracker update
 	waiters := pe.pendingFill[block]
 	delete(pe.pendingFill, block)
-	eng := pe.sys.eng
 	for _, msg := range waiters {
-		m := msg
-		eng.ScheduleAt(pe.nextReduceSlot(), func() { pe.finishReduce(m) })
+		pe.scheduleReduce(msg)
 	}
 	pe.pumpMPU() // an MSHR freed
 }
@@ -254,7 +402,7 @@ func (pe *PE) pumpMGU() {
 		if !ok {
 			return
 		}
-		var verts []graph.VertexID
+		verts := pe.vertsScratch[:0]
 		if cfg.Spill == SpillFIFO {
 			v := graph.VertexID(entry)
 			if !pe.sys.activeFlag[v] {
@@ -262,7 +410,7 @@ func (pe *PE) pumpMGU() {
 				pe.vmu.maybePrefetch()
 				continue
 			}
-			verts = []graph.VertexID{v}
+			verts = append(verts, v)
 		} else {
 			lo, hi := pe.blockSlots(entry)
 			for s := lo; s < hi; s++ {
@@ -272,10 +420,12 @@ func (pe *PE) pumpMGU() {
 				}
 			}
 			if len(verts) == 0 {
+				pe.vertsScratch = verts
 				pe.vmu.maybePrefetch()
 				continue
 			}
 		}
+		pe.vertsScratch = verts
 		for _, v := range verts {
 			pe.sys.deactivate(v)
 		}
@@ -286,6 +436,8 @@ func (pe *PE) pumpMGU() {
 
 // launchPropagation fetches the edges of the given active vertices and,
 // when the stream arrives, generates their messages at PropagateFU rate.
+// The in-flight batch state lives in a pooled propTask, so a steady MGU
+// pipeline schedules without allocating.
 func (pe *PE) launchPropagation(verts []graph.VertexID) {
 	sys := pe.sys
 	cfg := &sys.cfg
@@ -298,20 +450,34 @@ func (pe *PE) launchPropagation(verts []graph.VertexID) {
 		return
 	}
 	pe.mguInflight++
-	launchTick := sys.eng.Now()
-	pending := 0
-	started := false
-	finishOne := func() {
-		pending--
-		if pending == 0 && started {
-			pe.generateMessages(verts, totalEdges, launchTick)
-		}
-	}
+	t := pe.newPropTask(verts, totalEdges)
 	// Merge the edge ranges of adjacent slots (vertices of one block are
 	// consecutive, so their edge arrays are contiguous): one burst per
-	// run instead of one access per vertex.
-	type span struct{ lo, hi int64 }
-	var spans []span
+	// run instead of one access per vertex. Spans collapse to address
+	// ranges on the fly — the chunk loop below is the only consumer.
+	var spanLo, spanHi int64 = 0, -1
+	flush := func() {
+		if spanHi <= spanLo {
+			return
+		}
+		start := pe.edgeBase + uint64(spanLo)*uint64(cfg.EdgeBytes)
+		end := pe.edgeBase + uint64(spanHi)*uint64(cfg.EdgeBytes)
+		for start < end {
+			pageEnd := (start/edgePageBytes + 1) * edgePageBytes
+			if pageEnd > end {
+				pageEnd = end
+			}
+			ch := sys.edgeChans[pe.gpn][(start/edgePageBytes)%uint64(cfg.EdgeChannelsPerGPN)]
+			t.pending++
+			ch.Access(mem.Request{
+				Addr:  start,
+				Bytes: int(pageEnd - start),
+				Kind:  mem.UsefulRead,
+				Done:  t,
+			})
+			start = pageEnd
+		}
+	}
 	for _, v := range verts {
 		slot := int(sys.slot[v])
 		lo := pe.localRowPtr[slot]
@@ -319,36 +485,19 @@ func (pe *PE) launchPropagation(verts []graph.VertexID) {
 		if lo == hi {
 			continue
 		}
-		if n := len(spans); n > 0 && spans[n-1].hi == lo {
-			spans[n-1].hi = hi
+		if spanHi == lo {
+			spanHi = hi
 			continue
 		}
-		spans = append(spans, span{lo, hi})
+		flush()
+		spanLo, spanHi = lo, hi
 	}
-	for _, sp := range spans {
-		start := pe.edgeBase + uint64(sp.lo)*uint64(cfg.EdgeBytes)
-		end := pe.edgeBase + uint64(sp.hi)*uint64(cfg.EdgeBytes)
-		for start < end {
-			pageEnd := (start/edgePageBytes + 1) * edgePageBytes
-			if pageEnd > end {
-				pageEnd = end
-			}
-			ch := sys.edgeChans[pe.gpn][(start/edgePageBytes)%uint64(cfg.EdgeChannelsPerGPN)]
-			pending++
-			ch.Access(mem.Request{
-				Addr:  start,
-				Bytes: int(pageEnd - start),
-				Kind:  mem.UsefulRead,
-				Done:  finishOne,
-			})
-			start = pageEnd
-		}
-	}
-	started = true
-	if pending == 0 {
+	flush()
+	t.started = true
+	if t.pending == 0 {
 		// All chunks completed synchronously (cannot happen — channel
 		// completions are always future events) — keep safe anyway.
-		pe.generateMessages(verts, totalEdges, launchTick)
+		t.scheduleGen()
 	}
 }
 
@@ -357,60 +506,54 @@ const edgePageBytes = 4096
 
 // generateMessages applies the propagate function to every edge of the
 // batch, grouping messages by destination PE so each burst is one fabric
-// transfer, then frees the MGU pipeline slot.
-func (pe *PE) generateMessages(verts []graph.VertexID, totalEdges int64, launchTick sim.Ticks) {
+// transfer, then frees the MGU pipeline slot. It runs from the propTask's
+// genStage event, PropagateFU-rate ticks after the edge stream arrived.
+func (pe *PE) generateMessages(t *propTask) {
 	sys := pe.sys
 	cfg := &sys.cfg
-	dur := sim.Ticks((totalEdges + int64(cfg.PropagateFUs) - 1) / int64(cfg.PropagateFUs))
-	if dur == 0 {
-		dur = 1
-	}
-	sys.eng.Schedule(dur, func() {
-		for _, v := range verts {
-			prop := sys.props[v]
-			if sys.selfUpd != nil {
-				// Delta-accumulative programs fold pending state into
-				// the vertex at propagation time (and the fold is a
-				// vertex write).
-				sys.props[v], prop = sys.selfUpd.OnPropagate(v, sys.props[v])
-				pe.markDirty(pe.vaddr(v))
-			}
-			if sys.prep != nil {
-				prop = sys.prep.PrepareProp(v, prop)
-			}
-			slot := int(sys.slot[v])
-			lo, hi := pe.localRowPtr[slot], pe.localRowPtr[slot+1]
-			outDeg := hi - lo
-			for i := lo; i < hi; i++ {
-				delta, ok := sys.prog.Propagate(prop, pe.edgeWgt[i], outDeg)
-				if !ok {
-					continue
-				}
-				sys.edgesTraversed++
-				sys.messagesSent++
-				pe.edgesOut++
-				dst := pe.edgeDst[i]
-				owner := sys.part.Owner[dst]
-				pe.sendBuckets[owner] = append(pe.sendBuckets[owner], program.Message{Dst: dst, Delta: delta})
-			}
+	for _, v := range t.verts {
+		prop := sys.props[v]
+		if sys.selfUpd != nil {
+			// Delta-accumulative programs fold pending state into
+			// the vertex at propagation time (and the fold is a
+			// vertex write).
+			sys.props[v], prop = sys.selfUpd.OnPropagate(v, sys.props[v])
+			pe.markDirty(pe.vaddr(v))
 		}
-		for owner := range pe.sendBuckets {
-			batch := pe.sendBuckets[owner]
-			if len(batch) == 0 {
+		if sys.prep != nil {
+			prop = sys.prep.PrepareProp(v, prop)
+		}
+		slot := int(sys.slot[v])
+		lo, hi := pe.localRowPtr[slot], pe.localRowPtr[slot+1]
+		outDeg := hi - lo
+		for i := lo; i < hi; i++ {
+			delta, ok := sys.prog.Propagate(prop, pe.edgeWgt[i], outDeg)
+			if !ok {
 				continue
 			}
-			msgs := make([]program.Message, len(batch))
-			copy(msgs, batch)
-			pe.sendBuckets[owner] = batch[:0]
-			target := sys.pes[owner]
-			if owner == pe.id {
-				sys.eng.Schedule(1, func() { target.deliver(msgs) })
-			} else {
-				sys.fabric.Send(pe.id, owner, len(msgs)*cfg.MessageBytes, func() { target.deliver(msgs) })
-			}
+			sys.edgesTraversed++
+			sys.messagesSent++
+			pe.edgesOut++
+			dst := pe.edgeDst[i]
+			owner := sys.part.Owner[dst]
+			pe.sendBuckets[owner] = append(pe.sendBuckets[owner], program.Message{Dst: dst, Delta: delta})
 		}
-		sys.tracer.Span("mgu", "propagate", pe.id, launchTick, sys.eng.Now())
-		pe.mguInflight--
-		pe.pumpMGU()
-	})
+	}
+	for owner := range pe.sendBuckets {
+		batch := pe.sendBuckets[owner]
+		if len(batch) == 0 {
+			continue
+		}
+		dt := pe.newDeliverTask(sys.pes[owner], batch)
+		pe.sendBuckets[owner] = batch[:0]
+		if owner == pe.id {
+			sys.eng.Schedule(1, dt)
+		} else {
+			sys.fabric.Send(pe.id, owner, len(batch)*cfg.MessageBytes, dt)
+		}
+	}
+	sys.tracer.Span("mgu", "propagate", pe.id, t.launchTick, sys.eng.Now())
+	pe.mguInflight--
+	pe.releasePropTask(t)
+	pe.pumpMGU()
 }

@@ -50,7 +50,38 @@ type System struct {
 
 	// tracer is optional; a nil tracer records nothing.
 	tracer *trace.Tracer
+
+	// Pre-allocated kickoff/barrier events: inject activates a batch of
+	// vertices at tick 0 of a run or epoch, noopEv advances simulated time
+	// to a barrier boundary. Reusing one event per purpose keeps the BSP
+	// epoch loop allocation-free.
+	inject   injectTask
+	injectEv *sim.Event
+	noopEv   *sim.Event
 }
+
+// injectTask activates its vertex batch and pumps every MGU — the run and
+// epoch kickoff handler.
+type injectTask struct {
+	s     *System
+	verts []graph.VertexID
+}
+
+func (t *injectTask) Fire() {
+	s := t.s
+	for _, v := range t.verts {
+		s.activate(v)
+	}
+	t.verts = t.verts[:0]
+	for _, pe := range s.pes {
+		pe.pumpMGU()
+	}
+}
+
+// noopFire is a no-op Handler for pure time-advance events.
+type noopFire struct{}
+
+func (noopFire) Fire() {}
 
 // SetTracer attaches an activity tracer. Call before Run.
 func (s *System) SetTracer(t *trace.Tracer) { s.tracer = t }
@@ -154,6 +185,9 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 		vmu := pe.vmu
 		pe.cache.OnEvict = vmu.onEvict
 	}
+	s.inject.s = s
+	s.injectEv = sim.NewEvent(&s.inject)
+	s.noopEv = sim.NewEvent(noopFire{})
 	return s, nil
 }
 
@@ -264,15 +298,8 @@ func (s *System) Run(p program.Program) (*Result, error) {
 }
 
 func (s *System) runAsync(budget uint64) error {
-	init := s.prog.InitActive(s.g)
-	s.eng.Schedule(0, func() {
-		for _, v := range init {
-			s.activate(v)
-		}
-		for _, pe := range s.pes {
-			pe.pumpMGU()
-		}
-	})
+	s.inject.verts = append(s.inject.verts[:0], s.prog.InitActive(s.g)...)
+	s.eng.ScheduleEvent(s.injectEv, 0)
 	return s.runToQuiescence(budget)
 }
 
@@ -304,19 +331,12 @@ func (s *System) runBSP(budget uint64) error {
 		s.epochs++
 		// Inject the epoch's active set through the VMU and run the
 		// propagate→reduce pipeline to quiescence.
-		inject := append([]graph.VertexID(nil), active...)
-		for _, v := range inject {
+		s.inject.verts = append(s.inject.verts[:0], active...)
+		for _, v := range active {
 			inSet[v] = false
 		}
 		active = active[:0]
-		s.eng.Schedule(0, func() {
-			for _, v := range inject {
-				s.activate(v)
-			}
-			for _, pe := range s.pes {
-				pe.pumpMGU()
-			}
-		})
+		s.eng.ScheduleEvent(s.injectEv, 0)
 		if err := s.runToQuiescence(budget); err != nil {
 			return err
 		}
@@ -357,12 +377,12 @@ func (s *System) runBSP(budget uint64) error {
 			}
 		}
 		// Advance simulated time to the end of the apply sweep.
-		s.eng.Schedule(0, func() {})
+		s.eng.ScheduleEvent(s.noopEv, 0)
 		if err := s.eng.Run(0, budget); err != nil {
 			return err
 		}
 		if barrierEnd > s.eng.Now() {
-			s.eng.ScheduleAt(barrierEnd, func() {})
+			s.eng.ScheduleEventAt(s.noopEv, barrierEnd)
 			if err := s.eng.Run(0, budget); err != nil {
 				return err
 			}

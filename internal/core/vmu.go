@@ -44,7 +44,77 @@ type VMU struct {
 	fifo     []graph.VertexID
 	fifoHead int
 
+	// Completion-handler pools for the two recovery read paths, so the
+	// prefetch/refill pipelines never allocate per request.
+	freePrefetch *prefetchTask
+	freeFIFO     *fifoTask
+
 	stats VMUStats
+}
+
+// prefetchTask completes one tracker-directed block read.
+type prefetchTask struct {
+	u    *VMU
+	bi   int
+	addr uint64
+	next *prefetchTask
+}
+
+func (t *prefetchTask) Fire() {
+	u, bi, addr := t.u, t.bi, t.addr
+	t.next = u.freePrefetch
+	u.freePrefetch = t
+	u.inflightPrefetch--
+	if u.tracked.get(bi) {
+		u.untrack(bi)
+		u.stats.PrefetchHits++
+		u.pushBuffer(addr)
+	}
+	// Re-pump on every batch completion: even an all-miss batch
+	// must immediately trigger the next superblock scan, or the
+	// recovery pipeline stalls.
+	if u.inflightPrefetch == 0 {
+		u.pe.pumpMGU()
+	}
+}
+
+func (u *VMU) newPrefetchTask(bi int, addr uint64) *prefetchTask {
+	t := u.freePrefetch
+	if t == nil {
+		t = &prefetchTask{u: u}
+	} else {
+		u.freePrefetch = t.next
+	}
+	t.bi = bi
+	t.addr = addr
+	return t
+}
+
+// fifoTask completes one off-chip FIFO entry read.
+type fifoTask struct {
+	u    *VMU
+	v    graph.VertexID
+	next *fifoTask
+}
+
+func (t *fifoTask) Fire() {
+	u, v := t.u, t.v
+	t.next = u.freeFIFO
+	u.freeFIFO = t
+	u.inflightPrefetch--
+	u.pushBuffer(uint64(v))
+	u.pe.pumpMGU()
+}
+
+func (u *VMU) newFIFOTask(v graph.VertexID) *fifoTask {
+	t := u.freeFIFO
+	if t == nil {
+		t = &fifoTask{u: u}
+	} else {
+		u.freeFIFO = t.next
+	}
+	t.v = v
+	return t
 }
 
 // VMUStats instruments the trade-offs of Table I.
@@ -253,20 +323,7 @@ func (u *VMU) issueBlockRead(bi int) {
 		Addr:  addr,
 		Bytes: cfg.BlockBytes,
 		Kind:  kind,
-		Done: func() {
-			u.inflightPrefetch--
-			if u.tracked.get(bi) {
-				u.untrack(bi)
-				u.stats.PrefetchHits++
-				u.pushBuffer(addr)
-			}
-			// Re-pump on every batch completion: even an all-miss batch
-			// must immediately trigger the next superblock scan, or the
-			// recovery pipeline stalls.
-			if u.inflightPrefetch == 0 {
-				u.pe.pumpMGU()
-			}
-		},
+		Done:  u.newPrefetchTask(bi, addr),
 	})
 }
 
@@ -286,11 +343,7 @@ func (u *VMU) fifoRefill() {
 				Addr:  u.pe.fifoSpillAddr(),
 				Bytes: 16,
 				Kind:  mem.UsefulRead,
-				Done: func() {
-					u.inflightPrefetch--
-					u.pushBuffer(uint64(v))
-					u.pe.pumpMGU()
-				},
+				Done:  u.newFIFOTask(v),
 			})
 		}
 		if u.fifoHead == len(u.fifo) {

@@ -82,6 +82,13 @@ type Engine struct {
 	Threshold int64
 	// EdgesTraversed counts update attempts across the run.
 	EdgesTraversed int64
+
+	// dedupSeen/dedupGen implement generation-stamped duplicate removal
+	// for sparse frontiers: one word per vertex, no clearing between
+	// iterations. Like EdgesTraversed, this makes an Engine single-run
+	// state — build one per run.
+	dedupSeen []uint32
+	dedupGen  uint32
 }
 
 // NewEngine returns an engine using all available cores.
@@ -312,7 +319,7 @@ func (e *Engine) SSSP(g, gT *graph.CSR, root graph.VertexID) ([]int64, Result) {
 				return writeMinInt64(&dist[d], nd)
 			},
 		})
-		f = dedup(f)
+		f = e.dedup(f)
 	}
 	for i := range dist {
 		if dist[i] == inf {
@@ -322,16 +329,27 @@ func (e *Engine) SSSP(g, gT *graph.CSR, root graph.VertexID) ([]int64, Result) {
 	return dist, Result{Seconds: time.Since(start).Seconds(), EdgesTraversed: e.EdgesTraversed, Iterations: iters}
 }
 
-// dedup removes duplicate vertices from a sparse frontier.
-func dedup(f *Frontier) *Frontier {
+// dedup removes duplicate vertices from a sparse frontier in place,
+// keeping first occurrences in order. The stamp array replaces the old
+// per-iteration map: after the first frontier it allocates nothing.
+func (e *Engine) dedup(f *Frontier) *Frontier {
 	if f.isDen {
 		return f
 	}
-	seen := make(map[graph.VertexID]struct{}, len(f.sparse))
+	if len(e.dedupSeen) < f.n {
+		e.dedupSeen = make([]uint32, f.n)
+		e.dedupGen = 0
+	}
+	if e.dedupGen == ^uint32(0) {
+		clear(e.dedupSeen)
+		e.dedupGen = 0
+	}
+	e.dedupGen++
+	gen := e.dedupGen
 	out := f.sparse[:0]
 	for _, v := range f.sparse {
-		if _, ok := seen[v]; !ok {
-			seen[v] = struct{}{}
+		if e.dedupSeen[v] != gen {
+			e.dedupSeen[v] = gen
 			out = append(out, v)
 		}
 	}
@@ -359,7 +377,7 @@ func (e *Engine) CC(g *graph.CSR) ([]int64, Result) {
 				return writeMinInt64(&label[d], atomic.LoadInt64(&label[s]))
 			},
 		})
-		f = dedup(f)
+		f = e.dedup(f)
 	}
 	return label, Result{Seconds: time.Since(start).Seconds(), EdgesTraversed: e.EdgesTraversed, Iterations: iters}
 }

@@ -27,6 +27,37 @@ func BenchmarkChannelRandomAccess(b *testing.B) {
 	}
 }
 
+// completionCounter is a pre-allocated Done handler, the pattern the
+// converted PE/VMU pipelines use for every channel request.
+type completionCounter struct{ n int }
+
+func (c *completionCounter) Fire() { c.n++ }
+
+// BenchmarkChannelEnqueue measures the request path with a pooled
+// completion handler — the steady-state cost of one vertex or edge access
+// in the converted engines. It must be allocation-free.
+func BenchmarkChannelEnqueue(b *testing.B) {
+	eng := sim.NewEngine()
+	ch := NewChannel(eng, HBM2ChannelConfig("bench"))
+	done := &completionCounter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Access(Request{Addr: uint64(i%4096) * 32, Bytes: 32, Kind: UsefulRead, Done: done})
+		if i%1024 == 1023 {
+			if err := eng.RunUntilQuiet(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+	if done.n != b.N {
+		b.Fatalf("completed %d of %d requests", done.n, b.N)
+	}
+}
+
 // BenchmarkCacheAccess measures the direct-mapped cache hot path.
 func BenchmarkCacheAccess(b *testing.B) {
 	c := NewCache(64<<10, 32)

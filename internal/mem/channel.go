@@ -42,12 +42,15 @@ func (k AccessKind) String() string {
 	}
 }
 
-// Request is one memory access. Done, if non-nil, runs at completion time.
+// Request is one memory access. Done, if non-nil, fires at completion
+// time. It is a sim.Handler so callers can pass a pre-allocated completion
+// object and keep the request path allocation-free; ad-hoc callers can wrap
+// a closure in sim.HandlerFunc.
 type Request struct {
 	Addr  uint64
 	Bytes int
 	Kind  AccessKind
-	Done  func()
+	Done  sim.Handler
 }
 
 // ChannelConfig describes the timing of one DRAM channel.

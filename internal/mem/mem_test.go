@@ -21,7 +21,7 @@ func TestChannelSingleAccessLatency(t *testing.T) {
 	eng := sim.NewEngine()
 	ch := NewChannel(eng, testChannelConfig())
 	var done sim.Ticks
-	ch.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead, Done: func() { done = eng.Now() }})
+	ch.Access(Request{Addr: 0, Bytes: 32, Kind: UsefulRead, Done: sim.HandlerFunc(func() { done = eng.Now() })})
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestChannelBandwidthBound(t *testing.T) {
 	var last sim.Ticks
 	for i := 0; i < n; i++ {
 		addr := uint64(i * 32)
-		ch.Access(Request{Addr: addr, Bytes: 32, Kind: UsefulRead, Done: func() { last = eng.Now() }})
+		ch.Access(Request{Addr: addr, Bytes: 32, Kind: UsefulRead, Done: sim.HandlerFunc(func() { last = eng.Now() })})
 	}
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
@@ -59,7 +59,7 @@ func TestChannelMultiAtomRequest(t *testing.T) {
 	ch := NewChannel(eng, testChannelConfig())
 	// 33 bytes starting at addr 0 spans 2 atoms.
 	var done sim.Ticks
-	ch.Access(Request{Addr: 0, Bytes: 33, Kind: UsefulRead, Done: func() { done = eng.Now() }})
+	ch.Access(Request{Addr: 0, Bytes: 33, Kind: UsefulRead, Done: sim.HandlerFunc(func() { done = eng.Now() })})
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +303,7 @@ func TestRowMissAddsLatencyNotBusTime(t *testing.T) {
 	for i := 0; i < n; i++ {
 		// 7 KiB stride: every access misses the row buffer.
 		ch.Access(Request{Addr: uint64(i) * 7168, Bytes: 32, Kind: UsefulRead,
-			Done: func() { last = eng.Now() }})
+			Done: sim.HandlerFunc(func() { last = eng.Now() })})
 	}
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)

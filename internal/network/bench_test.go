@@ -1,0 +1,61 @@
+package network
+
+import (
+	"testing"
+
+	"nova/internal/sim"
+)
+
+// arrivalCounter is a pre-allocated delivery handler, the pattern the PE
+// message-generation unit uses for every fabric send.
+type arrivalCounter struct{ n int }
+
+func (c *arrivalCounter) Fire() { c.n++ }
+
+// BenchmarkHierarchicalSend measures the enqueue path for local (same-GPN)
+// sends with a pooled delivery handler. It must be allocation-free.
+func BenchmarkHierarchicalSend(b *testing.B) {
+	eng := sim.NewEngine()
+	f := NewHierarchical(eng, 2, 4, DefaultP2PConfig(), DefaultCrossbarConfig())
+	done := &arrivalCounter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(0, 1, 64, done)
+		if i%1024 == 1023 {
+			if err := eng.RunUntilQuiet(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+	if done.n != b.N {
+		b.Fatalf("delivered %d of %d messages", done.n, b.N)
+	}
+}
+
+// BenchmarkHierarchicalSendInterGPN measures cross-GPN sends, which pay
+// two crossbar port stages on top of the P2P links.
+func BenchmarkHierarchicalSendInterGPN(b *testing.B) {
+	eng := sim.NewEngine()
+	f := NewHierarchical(eng, 2, 4, DefaultP2PConfig(), DefaultCrossbarConfig())
+	done := &arrivalCounter{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Send(0, 5, 64, done)
+		if i%1024 == 1023 {
+			if err := eng.RunUntilQuiet(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+	if done.n != b.N {
+		b.Fatalf("delivered %d of %d messages", done.n, b.N)
+	}
+}

@@ -18,8 +18,9 @@ import (
 // Fabric delivers messages between PEs, identified by global PE index.
 type Fabric interface {
 	// Send models a transfer of bytes from src to dst and schedules
-	// deliver at arrival time.
-	Send(src, dst int, bytes int, deliver func())
+	// deliver at arrival time. deliver is a sim.Handler so senders can
+	// reuse pre-allocated delivery objects (no per-message allocation).
+	Send(src, dst int, bytes int, deliver sim.Handler)
 	// Stats returns accumulated traffic counters.
 	Stats() Stats
 }
@@ -50,7 +51,7 @@ func (l *link) reserve(now float64, bytes int, bytesPerCycle float64) float64 {
 	return l.nextFree
 }
 
-func (l *link) transfer(eng *sim.Engine, bytes int, bytesPerCycle float64, latency sim.Ticks, deliver func()) {
+func (l *link) transfer(eng *sim.Engine, bytes int, bytesPerCycle float64, latency sim.Ticks, deliver sim.Handler) {
 	done := l.reserve(float64(eng.Now()), bytes, bytesPerCycle)
 	eng.ScheduleAt(sim.Ticks(done+0.999999)+latency, deliver)
 }
@@ -118,7 +119,7 @@ func NewHierarchical(eng *sim.Engine, gpns, pesPerGPN int, p2p P2PConfig, xbar C
 }
 
 // Send implements Fabric.
-func (h *Hierarchical) Send(src, dst, bytes int, deliver func()) {
+func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
 	h.stats.Messages++
 	h.stats.Bytes += uint64(bytes)
 	sg, dg := src/h.pesPerGPN, dst/h.pesPerGPN
@@ -157,7 +158,7 @@ func NewIdeal(eng *sim.Engine, latency sim.Ticks) *Ideal {
 }
 
 // Send implements Fabric.
-func (i *Ideal) Send(src, dst, bytes int, deliver func()) {
+func (i *Ideal) Send(src, dst, bytes int, deliver sim.Handler) {
 	i.stats.Messages++
 	i.stats.Bytes += uint64(bytes)
 	i.stats.LocalBytes += uint64(bytes)

@@ -10,7 +10,7 @@ func TestHierarchicalLocalDelivery(t *testing.T) {
 	eng := sim.NewEngine()
 	f := NewHierarchical(eng, 2, 4, P2PConfig{BytesPerCycle: 1, Latency: 10}, DefaultCrossbarConfig())
 	var at sim.Ticks
-	f.Send(0, 1, 8, func() { at = eng.Now() })
+	f.Send(0, 1, 8, sim.HandlerFunc(func() { at = eng.Now() }))
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestHierarchicalInterGPN(t *testing.T) {
 	f := NewHierarchical(eng, 2, 4, DefaultP2PConfig(), CrossbarConfig{BytesPerCycle: 2, Latency: 50})
 	var at sim.Ticks
 	// PE 0 (GPN 0) to PE 5 (GPN 1).
-	f.Send(0, 5, 8, func() { at = eng.Now() })
+	f.Send(0, 5, 8, sim.HandlerFunc(func() { at = eng.Now() }))
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestHierarchicalLinkSerialization(t *testing.T) {
 	f := NewHierarchical(eng, 1, 2, P2PConfig{BytesPerCycle: 1, Latency: 0}, DefaultCrossbarConfig())
 	var last sim.Ticks
 	for i := 0; i < 10; i++ {
-		f.Send(0, 1, 4, func() { last = eng.Now() })
+		f.Send(0, 1, 4, sim.HandlerFunc(func() { last = eng.Now() }))
 	}
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
@@ -63,8 +63,8 @@ func TestHierarchicalDistinctLinksParallel(t *testing.T) {
 	eng := sim.NewEngine()
 	f := NewHierarchical(eng, 1, 4, P2PConfig{BytesPerCycle: 1, Latency: 0}, DefaultCrossbarConfig())
 	var a, b sim.Ticks
-	f.Send(0, 1, 4, func() { a = eng.Now() })
-	f.Send(2, 3, 4, func() { b = eng.Now() })
+	f.Send(0, 1, 4, sim.HandlerFunc(func() { a = eng.Now() }))
+	f.Send(2, 3, 4, sim.HandlerFunc(func() { b = eng.Now() }))
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -79,8 +79,8 @@ func TestCrossbarPortContention(t *testing.T) {
 	var a, b sim.Ticks
 	// Two different sources target the same destination GPN: the input
 	// port serializes them.
-	f.Send(0, 2, 4, func() { a = eng.Now() })
-	f.Send(1, 2, 4, func() { b = eng.Now() })
+	f.Send(0, 2, 4, sim.HandlerFunc(func() { a = eng.Now() }))
+	f.Send(1, 2, 4, sim.HandlerFunc(func() { b = eng.Now() }))
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestIdealFabric(t *testing.T) {
 	f := NewIdeal(eng, 5)
 	var times []sim.Ticks
 	for i := 0; i < 100; i++ {
-		f.Send(0, 1, 1<<20, func() { times = append(times, eng.Now()) })
+		f.Send(0, 1, 1<<20, sim.HandlerFunc(func() { times = append(times, eng.Now()) }))
 	}
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestSubCycleMessagesUseFractionalBandwidth(t *testing.T) {
 	f := NewHierarchical(eng, 2, 1, DefaultP2PConfig(), CrossbarConfig{BytesPerCycle: 30, Latency: 0})
 	var last sim.Ticks
 	for i := 0; i < 30; i++ {
-		f.Send(0, 1, 8, func() { last = eng.Now() })
+		f.Send(0, 1, 8, sim.HandlerFunc(func() { last = eng.Now() }))
 	}
 	if err := eng.RunUntilQuiet(0); err != nil {
 		t.Fatal(err)

@@ -18,7 +18,6 @@ package polygraph
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"nova/graph"
 	"nova/program"
@@ -339,7 +338,10 @@ func (m *machine) runAsync() error {
 			var passEdges int64
 			var msgIO int64
 			batch := pending[s]
-			pending[s] = nil
+			// Recycle the batch backing: messages for slice s are never
+			// produced while slice s itself is processing (the local case
+			// reduces in place), so the buffer is free for the next round.
+			pending[s] = batch[:0]
 			// Read real buffered messages back from DRAM (worklist
 			// seeds from InitActive are not memory traffic).
 			for _, msg := range batch {
@@ -355,7 +357,7 @@ func (m *machine) runAsync() error {
 				chunk := batch[base:end]
 				// Tw reordering: sort the window by destination so
 				// same-vertex updates merge before processing.
-				sort.SliceStable(chunk, func(i, j int) bool { return chunk[i].Dst < chunk[j].Dst })
+				sortByDst(chunk)
 				for i := 0; i < len(chunk); {
 					j := i
 					v := chunk[i].Dst
@@ -390,6 +392,23 @@ func (m *machine) runAsync() error {
 
 // selfSeed marks worklist seeds that are activations, not real messages.
 const selfSeed = program.Prop(1<<64 - 2)
+
+// sortByDst stably sorts one reorder window by destination vertex. Windows
+// are small (ReorderWindow entries, default 64), where insertion sort beats
+// sort.SliceStable — and, unlike the reflection-based swapper, it allocates
+// nothing, which matters because this runs once per window on the model's
+// hottest path.
+func sortByDst(msgs []program.Message) {
+	for i := 1; i < len(msgs); i++ {
+		m := msgs[i]
+		j := i - 1
+		for j >= 0 && msgs[j].Dst > m.Dst {
+			msgs[j+1] = msgs[j]
+			j--
+		}
+		msgs[j+1] = m
+	}
+}
 
 // runBSP executes bulk-synchronous programs: each epoch sweeps the slices
 // once, propagating the epoch's active vertices and accumulating incoming

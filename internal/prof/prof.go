@@ -1,0 +1,66 @@
+// Package prof wires the conventional -cpuprofile/-memprofile flags into
+// the command-line tools, so hot paths in the simulation kernel can be
+// inspected with `go tool pprof` against a real workload instead of a
+// micro-benchmark.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profiling flag values for one command.
+type Flags struct {
+	cpu *string
+	mem *string
+}
+
+// RegisterFlags binds -cpuprofile and -memprofile on the default FlagSet.
+// Call before flag.Parse.
+func RegisterFlags() *Flags {
+	return &Flags{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling if requested and returns a stop function that
+// ends the CPU profile and writes the heap profile. Defer it right after
+// flag.Parse; it is a no-op when neither flag is set.
+func (f *Flags) Start() func() {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		var err error
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+	}
+	memPath := *f.mem
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			file, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.Lookup("allocs").WriteTo(file, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			file.Close()
+		}
+	}
+}

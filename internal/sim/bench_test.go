@@ -2,20 +2,53 @@ package sim
 
 import "testing"
 
+// ticker is the pre-allocated recurring-event pattern every converted
+// component uses: one Handler struct, one Event, Reschedule per cycle.
+type ticker struct {
+	e   *Engine
+	ev  *Event
+	n   int
+	max int
+}
+
+func (t *ticker) Fire() {
+	t.n++
+	if t.n < t.max {
+		t.e.Reschedule(t.ev, t.e.Now()+1)
+	}
+}
+
 // BenchmarkEventThroughput measures raw event-loop rate — the figure that
 // bounds how large a graph the cycle-level model can simulate per second.
+// The pooled-reschedule pattern must be allocation-free.
 func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	t := &ticker{e: e, max: b.N}
+	t.ev = NewEvent(t)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.ScheduleEvent(t.ev, 0)
+	if err := e.RunUntilQuiet(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEventThroughputFunc is the same loop through the ScheduleFunc
+// compat shim with pooled one-shot events — the path unconverted or ad-hoc
+// callers take.
+func BenchmarkEventThroughputFunc(b *testing.B) {
 	e := NewEngine()
 	n := 0
 	var tick func()
 	tick = func() {
 		n++
 		if n < b.N {
-			e.Schedule(1, tick)
+			e.ScheduleFunc(1, tick)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
-	e.Schedule(0, tick)
+	e.ScheduleFunc(0, tick)
 	if err := e.RunUntilQuiet(0); err != nil {
 		b.Fatal(err)
 	}
@@ -24,19 +57,37 @@ func BenchmarkEventThroughput(b *testing.B) {
 // BenchmarkScheduleDeschedule measures timer churn (MGU/prefetch usage).
 func BenchmarkScheduleDeschedule(b *testing.B) {
 	e := NewEngine()
+	h := HandlerFunc(func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ev := e.Schedule(1000, func() {})
+		ev := e.Schedule(1000, h)
 		e.Deschedule(ev)
+	}
+}
+
+// BenchmarkReschedulePending measures moving an armed timer, the cheapest
+// state-machine operation (deadline extension).
+func BenchmarkReschedulePending(b *testing.B) {
+	e := NewEngine()
+	ev := NewEvent(HandlerFunc(func() {}))
+	e.ScheduleEvent(ev, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reschedule(ev, 1000+Ticks(i&1))
 	}
 }
 
 // BenchmarkFanOut measures bursty same-tick scheduling (message delivery).
 func BenchmarkFanOut(b *testing.B) {
 	e := NewEngine()
+	h := HandlerFunc(func() {})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 64; j++ {
-			e.Schedule(Ticks(j%8), func() {})
+			e.Schedule(Ticks(j%8), h)
 		}
 		if err := e.RunUntilQuiet(0); err != nil {
 			b.Fatal(err)
