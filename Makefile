@@ -12,7 +12,7 @@ BENCH_FIGS  ?= fig1,fig2,fig4,fig10
 
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: all build vet test race bench bench-sim
+.PHONY: all build vet test race bench bench-sim golden fmt-check stats-md
 
 all: build vet test
 
@@ -36,3 +36,18 @@ bench: build
 bench-sim: build
 	$(GO) run ./cmd/simbench -o $(BENCH_SIM_OUT)
 	@cat $(BENCH_SIM_OUT)
+
+# Refresh the golden statistics dump after an intentional behavior
+# change. Review `statdiff` output against the old file before committing.
+golden:
+	$(GO) run ./cmd/goldendump -o testdata/golden_stats.json
+
+# Regenerate the STATS.md metrics reference from live dumps.
+stats-md:
+	$(GO) generate ./internal/stats
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi

@@ -8,6 +8,7 @@ import (
 	"nova/internal/ligra"
 	"nova/internal/polygraph"
 	"nova/internal/ref"
+	"nova/internal/stats"
 	"nova/program"
 )
 
@@ -36,6 +37,9 @@ type PolyGraphReport struct {
 	Rounds              int
 	SlicePasses         int
 	EdgeBandwidthShare  float64
+	// Dump is the full hierarchical statistics dump (per-slice schedule,
+	// traffic split); the flat fields above are its root-level records.
+	Dump *stats.Dump
 }
 
 // GTEPS returns effective throughput against the graph's edge count.
@@ -74,6 +78,7 @@ func (b *PolyGraphBaseline) Run(p program.Program, g *graph.CSR) (*PolyGraphRepo
 		Rounds:              res.Rounds,
 		SlicePasses:         res.SlicePasses,
 		EdgeBandwidthShare:  res.EdgeBandwidthShare,
+		Dump:                res.Dump,
 	}, nil
 }
 
@@ -92,9 +97,11 @@ var _ program.Runner = (*PolyGraphBaseline)(nil)
 // RunWorkload call owns a private simulation, so the engine is safe for
 // concurrent use by harness.Pool workers.
 //
-// Metrics-bag keys: processing_seconds, switching_seconds,
-// inefficiency_seconds, slice_count, rounds, slice_passes,
-// edge_bw_share. The two-phase "bc" workload reports Stats only.
+// The metrics bag is derived from the run's stats dump (the
+// PolyGraphReport.Dump tree): root-level legacy keys processing_seconds,
+// switching_seconds, inefficiency_seconds, slice_count, rounds,
+// slice_passes, edge_bw_share plus traffic counters and per-slice detail
+// (slice0.passes, …). The two-phase "bc" workload reports Stats only.
 func (b *PolyGraphBaseline) Engine() harness.Engine { return pgEngine{b} }
 
 type pgEngine struct{ b *PolyGraphBaseline }
@@ -139,15 +146,8 @@ func (e pgEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 		return nil, err
 	}
 	out.Props, out.Stats = rep.Props, rep.Stats
-	out.Metrics = map[string]float64{
-		"processing_seconds":   rep.ProcessingSeconds,
-		"switching_seconds":    rep.SwitchingSeconds,
-		"inefficiency_seconds": rep.InefficiencySeconds,
-		"slice_count":          float64(rep.SliceCount),
-		"rounds":               float64(rep.Rounds),
-		"slice_passes":         float64(rep.SlicePasses),
-		"edge_bw_share":        rep.EdgeBandwidthShare,
-	}
+	out.Dump = rep.Dump
+	out.Metrics = rep.Dump.Bag()
 	return out, nil
 }
 
@@ -170,6 +170,9 @@ type SoftwareReport struct {
 	Dists  []int64
 	Ranks  []float64
 	Scores []float64
+	// Dump is the statistics dump (wall-clock and traversal counts are
+	// marked volatile, so dump diffs skip them by default).
+	Dump *stats.Dump
 }
 
 // GTEPS returns traversed giga-edges per second.
@@ -193,28 +196,37 @@ func (s *Software) engine() *ligra.Engine {
 // and bc; prIters configures PageRank.
 func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*SoftwareReport, error) {
 	e := s.engine()
+	var rep *SoftwareReport
+	var res ligra.Result
 	switch name {
 	case "bfs":
 		d, r := e.BFS(g, gT, root)
-		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+		rep, res = &SoftwareReport{Dists: d}, r
 	case "sssp":
 		d, r := e.SSSP(g, nil, root)
-		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+		rep, res = &SoftwareReport{Dists: d}, r
 	case "cc":
 		d, r := e.CC(g)
-		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Dists: d}, nil
+		rep, res = &SoftwareReport{Dists: d}, r
 	case "pr":
 		if prIters <= 0 {
 			prIters = 10
 		}
 		ranks, r := e.PR(g, gT, 0.85, prIters)
-		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Ranks: ranks}, nil
+		rep, res = &SoftwareReport{Ranks: ranks}, r
 	case "bc":
 		sc, r := e.BC(g, gT, root)
-		return &SoftwareReport{Seconds: r.Seconds, EdgesTraversed: r.EdgesTraversed, Iterations: r.Iterations, Scores: sc}, nil
+		rep, res = &SoftwareReport{Scores: sc}, r
 	default:
 		return nil, fmt.Errorf("nova: unknown workload %q", name)
 	}
+	rep.Seconds, rep.EdgesTraversed, rep.Iterations = res.Seconds, res.EdgesTraversed, res.Iterations
+	rep.Dump = e.StatsDump(res, map[string]string{
+		"engine":   "ligra",
+		"workload": name,
+		"graph":    g.Name,
+	})
+	return rep, nil
 }
 
 // Engine returns the harness view of the software framework. Stats report
@@ -222,7 +234,9 @@ func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexI
 // unlike the simulated engines its timings vary run to run and tighten
 // when cells share cores).
 //
-// Metrics-bag keys: iterations, wall_seconds. Distance outputs
+// The metrics bag is derived from the run's stats dump: legacy keys
+// iterations and wall_seconds plus edges_traversed, the push/pull
+// direction profile and frontier-size distribution. Distance outputs
 // (bfs/sssp/cc) convert to Props with -1 mapping to program.Inf;
 // PageRank ranks and BC scores land in Scores.
 func (s *Software) Engine() harness.Engine { return ligraEngine{s} }
@@ -257,10 +271,8 @@ func (e ligraEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 			SimSeconds:     rep.Seconds,
 			EdgesTraversed: rep.EdgesTraversed,
 		},
-		Metrics: map[string]float64{
-			"iterations":   float64(rep.Iterations),
-			"wall_seconds": rep.Seconds,
-		},
+		Metrics: rep.Dump.Bag(),
+		Dump:    rep.Dump,
 	}
 	if rep.Dists != nil {
 		out.Props = make([]program.Prop, len(rep.Dists))

@@ -1,0 +1,39 @@
+// Command goldendump writes the golden statistics dump — the merged
+// dump of the three determinism cells — to -o. Run it (or `make golden`)
+// to refresh testdata/golden_stats.json after an intentional behavior
+// change, then review the statdiff against the old file before
+// committing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nova/internal/golden"
+)
+
+func main() {
+	out := flag.String("o", "testdata/golden_stats.json", "output file")
+	flag.Parse()
+
+	d, err := golden.BuildDump()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldendump: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldendump: %v\n", err)
+		os.Exit(1)
+	}
+	err = d.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "goldendump: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "goldendump: %d records written to %s\n", len(d.Records), *out)
+}

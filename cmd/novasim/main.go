@@ -11,6 +11,12 @@
 // the harness pool, fanning cells out over -jobs workers:
 //
 //	novasim -engine all -workload bfs,pr -graph twitter -jobs 4
+//
+// -stats-out writes the merged hierarchical statistics dump of every cell
+// (format by extension: .json, .csv, .txt); see STATS.md for the record
+// reference and cmd/statdiff for comparing dumps:
+//
+//	novasim -engine nova -workload sssp -graph urand -stats-out run.json
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"nova/internal/exp"
 	"nova/internal/harness"
 	"nova/internal/prof"
+	"nova/internal/stats"
 	"nova/program"
 )
 
@@ -43,6 +50,7 @@ func main() {
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
 	graphFile := flag.String("graph-file", "", "load graph from an edge-list file instead of the registry")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
+	statsOut := flag.String("stats-out", "", "write the merged statistics dump to FILE (.json, .csv, or .txt by extension)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
 	profFlags := prof.RegisterFlags()
 	flag.Parse()
@@ -65,8 +73,10 @@ func main() {
 
 	engines := splitList(*engine, []string{"nova", "polygraph", "ligra"})
 	workloads := splitList(*workload, nova.WorkloadNames)
-	if len(engines)*len(workloads) > 1 {
-		runSweep(scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN)
+	// -stats-out routes through the sweep path even for a single cell, so
+	// every cell's dump lands in one merged, engine.workload-prefixed file.
+	if len(engines)*len(workloads) > 1 || *statsOut != "" {
+		runSweep(scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN, *statsOut)
 		return
 	}
 
@@ -210,7 +220,7 @@ func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill, fabric 
 // runSweep fans the engine×workload grid out over the harness pool and
 // prints one summary line per cell, in grid order, plus the wall-clock
 // cost of the sweep vs its sequential equivalent.
-func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int) {
+func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int, statsOut string) {
 	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
 		d.Graph.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
 	var jobs []harness.Job[*harness.Report]
@@ -258,4 +268,41 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 	}
 	fmt.Fprintf(os.Stderr, "sweep: %d cells in %v wall (%v busy, jobs=%d, %.2fx vs sequential)\n",
 		len(jobs), wall.Round(time.Millisecond), busy.Round(time.Millisecond), jobsN, speedup)
+	if statsOut != "" {
+		check(writeStatsDump(results, d, statsOut))
+	}
+}
+
+// writeStatsDump merges every cell's dump (prefixed engine.workload) into
+// one file, choosing the sink by extension: .csv, .txt/.text, else JSON.
+func writeStatsDump(results []harness.Result[*harness.Report], d *exp.Dataset, path string) error {
+	var parts []*stats.Dump
+	for _, r := range results {
+		if r.Err != nil || r.Value == nil || r.Value.Dump == nil {
+			continue // failed cells and two-phase workloads ("bc") have no dump
+		}
+		parts = append(parts, r.Value.Dump.Prefixed(r.Value.Engine+"."+r.Value.Workload))
+	}
+	merged := stats.Merge(map[string]string{"graph": d.Graph.Name}, parts...)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = merged.WriteCSV(f)
+	case strings.HasSuffix(path, ".txt"), strings.HasSuffix(path, ".text"):
+		err = merged.WriteText(f)
+	default:
+		err = merged.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stats: %d records from %d cells written to %s\n",
+		len(merged.Records), len(parts), path)
+	return nil
 }

@@ -1,0 +1,101 @@
+// Command statdiff compares two statistics dumps written by
+// novasim -stats-out (or goldendump) and reports per-record deltas.
+//
+// Usage:
+//
+//	statdiff [-threshold PCT] [-strict] [-include-volatile] [-all] OLD.json NEW.json
+//
+// By default only changed records print, volatile records (wall-clock
+// timings, racy parallel counters) are skipped, and the exit code is 0
+// regardless of deltas — suitable as a warn-only CI step. With -strict
+// the command exits 1 when any compared delta exceeds -threshold percent
+// (records present on only one side always count as exceeding). Exit
+// code 2 signals a usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"nova/internal/stats"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 2, "percent change above which a delta counts as a regression")
+	strict := flag.Bool("strict", false, "exit 1 when any delta exceeds -threshold")
+	includeVolatile := flag.Bool("include-volatile", false, "also compare records marked volatile")
+	all := flag.Bool("all", false, "print unchanged records too")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: statdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldDump, newDump := readDump(flag.Arg(0)), readDump(flag.Arg(1))
+	deltas := stats.Diff(oldDump, newDump, *includeVolatile)
+
+	changed, exceeded := 0, 0
+	for _, d := range deltas {
+		if d.Changed() {
+			changed++
+		}
+		over := d.Exceeds(*threshold)
+		if over {
+			exceeded++
+		}
+		if !*all && !d.Changed() {
+			continue
+		}
+		fmt.Println(render(d, over))
+	}
+	fmt.Fprintf(os.Stderr, "statdiff: %d records compared, %d changed, %d above %.3g%%\n",
+		len(deltas), changed, exceeded, *threshold)
+	if *strict && exceeded > 0 {
+		os.Exit(1)
+	}
+}
+
+func readDump(path string) *stats.Dump {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statdiff: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	d, err := stats.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statdiff: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return d
+}
+
+// render formats one delta line; regressions above threshold get a
+// leading "!" so they stand out in CI logs.
+func render(d stats.Delta, over bool) string {
+	mark := " "
+	if over {
+		mark = "!"
+	}
+	switch {
+	case !d.OldOK:
+		return fmt.Sprintf("%s %-60s (added)        -> %g", mark, d.Path, d.New)
+	case !d.NewOK:
+		return fmt.Sprintf("%s %-60s (removed)      %g ->", mark, d.Path, d.Old)
+	case !d.Changed():
+		return fmt.Sprintf("  %-60s unchanged      %g", d.Path, d.Old)
+	default:
+		pct := d.Pct()
+		p := fmt.Sprintf("%+.3g%%", pct)
+		if math.IsInf(pct, 0) {
+			p = "from zero"
+		}
+		return fmt.Sprintf("%s %-60s %-14s %g -> %g", mark, d.Path, p, d.Old, d.New)
+	}
+}

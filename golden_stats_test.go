@@ -1,0 +1,66 @@
+package nova_test
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"nova/internal/golden"
+	"nova/internal/stats"
+)
+
+// TestGoldenStatsDump rebuilds the golden statistics dump (the three
+// determinism cells, see internal/golden) and compares every non-volatile
+// record against the checked-in testdata/golden_stats.json. It is the
+// wide-net companion to TestKernelDeterminismGolden: that test pins a
+// handful of headline counters, this one pins all ~hundreds of records,
+// so an accidental change to any counter anywhere in the tree fails CI.
+//
+// After an intentional behavior change, refresh the file with
+// `make golden` and review the statdiff output in the commit.
+func TestGoldenStatsDump(t *testing.T) {
+	f, err := os.Open("testdata/golden_stats.json")
+	if err != nil {
+		t.Fatalf("missing golden dump (refresh with `make golden`): %v", err)
+	}
+	defer f.Close()
+	want, err := stats.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := golden.BuildDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Relative tolerance absorbs cross-platform float differences (FMA
+	// contraction in formula evaluation); counters compare exactly.
+	const relTol = 1e-9
+	mismatches := 0
+	for _, d := range stats.Diff(want, got, false) {
+		switch {
+		case !d.OldOK:
+			t.Errorf("%s: new record %g not in golden dump", d.Path, d.New)
+			mismatches++
+		case !d.NewOK:
+			t.Errorf("%s: golden record %g missing from fresh dump", d.Path, d.Old)
+			mismatches++
+		case !within(d.Old, d.New, relTol):
+			t.Errorf("%s: golden %g, got %g (%+.3g%%)", d.Path, d.Old, d.New, d.Pct())
+			mismatches++
+		}
+		if mismatches > 20 {
+			t.Fatal("too many mismatches; truncating (regenerate with `make golden` if intentional)")
+		}
+	}
+}
+
+// within reports whether a and b agree to relative tolerance tol.
+func within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}

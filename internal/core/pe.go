@@ -4,6 +4,7 @@ import (
 	"nova/graph"
 	"nova/internal/mem"
 	"nova/internal/sim"
+	"nova/internal/stats"
 	"nova/program"
 )
 
@@ -44,6 +45,11 @@ type PE struct {
 	fifoTick    uint64
 	// edgesOut counts propagations this PE generated (load accounting).
 	edgesOut int64
+	// inboxDepth samples the MPU backlog at each delivery; batchVerts and
+	// batchEdges profile propagation batches. Plain array/field updates.
+	inboxDepth stats.Histogram
+	batchVerts stats.Distribution
+	batchEdges stats.Distribution
 
 	// Pre-allocated event-handler pools: one free list per recurring
 	// schedule in the MPU/MGU pipelines, so steady-state simulation never
@@ -264,6 +270,7 @@ func (pe *PE) fifoSpillAddr() uint64 {
 // deliver appends incoming messages and pumps the MPU.
 func (pe *PE) deliver(msgs []program.Message) {
 	pe.inbox = append(pe.inbox, msgs...)
+	pe.inboxDepth.Observe(uint64(len(pe.inbox) - pe.inboxHead))
 	pe.pumpMPU()
 }
 
@@ -449,6 +456,8 @@ func (pe *PE) launchPropagation(verts []graph.VertexID) {
 	if totalEdges == 0 {
 		return
 	}
+	pe.batchVerts.Sample(float64(len(verts)))
+	pe.batchEdges.Sample(float64(totalEdges))
 	pe.mguInflight++
 	t := pe.newPropTask(verts, totalEdges)
 	// Merge the edge ranges of adjacent slots (vertices of one block are

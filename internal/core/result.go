@@ -3,6 +3,7 @@ package core
 import (
 	"nova/internal/network"
 	"nova/internal/sim"
+	"nova/internal/stats"
 	"nova/program"
 )
 
@@ -52,6 +53,9 @@ type Result struct {
 	// PEEdges counts propagations per PE — the load-balance signal the
 	// spatial-mapping comparison of Fig. 9b turns on.
 	PEEdges []int64
+
+	// Dump is the full hierarchical statistics dump for the run.
+	Dump *stats.Dump
 }
 
 // LoadImbalance returns max(per-PE propagations)/mean; 1.0 is perfectly

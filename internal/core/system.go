@@ -8,6 +8,7 @@ import (
 	"nova/internal/mem"
 	"nova/internal/network"
 	"nova/internal/sim"
+	"nova/internal/stats"
 	"nova/internal/trace"
 	"nova/program"
 )
@@ -47,6 +48,11 @@ type System struct {
 	drains         int64
 	epochs         int
 	ran            bool
+
+	// stats is the machine's statistics tree, built at assembly time;
+	// result backs the root-level dump-time formulas once Run completes.
+	stats  *stats.Group
+	result *Result
 
 	// tracer is optional; a nil tracer records nothing.
 	tracer *trace.Tracer
@@ -188,6 +194,7 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 	s.inject.s = s
 	s.injectEv = sim.NewEvent(&s.inject)
 	s.noopEv = sim.NewEvent(noopFire{})
+	s.buildStatsTree()
 	return s, nil
 }
 
@@ -294,7 +301,14 @@ func (s *System) Run(p program.Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.collectResult(), nil
+	// Collect first: the dump's root formulas read s.result.
+	s.result = s.collectResult()
+	s.result.Dump = s.stats.Dump(map[string]string{
+		"engine":  "nova",
+		"program": p.Name(),
+		"graph":   s.g.Name,
+	})
+	return s.result, nil
 }
 
 func (s *System) runAsync(budget uint64) error {

@@ -3,6 +3,7 @@ package core
 import (
 	"nova/graph"
 	"nova/internal/mem"
+	"nova/internal/stats"
 )
 
 // bitset is a dense bit vector used for per-block tracker state.
@@ -50,6 +51,9 @@ type VMU struct {
 	freeFIFO     *fifoTask
 
 	stats VMUStats
+	// occupancy samples the buffer fill level at each push (linear
+	// buckets); a plain array increment on the activation path.
+	occupancy stats.Histogram
 }
 
 // prefetchTask completes one tracker-directed block read.
@@ -151,12 +155,13 @@ func newVMU(pe *PE) *VMU {
 		numSB = 1
 	}
 	return &VMU{
-		pe:       pe,
-		counters: make([]int32, numSB),
-		tracked:  newBitset(numBlocks),
-		inBuffer: newBitset(numBlocks),
-		scanOff:  make([]int32, numSB),
-		buffer:   make([]uint64, 0, pe.sys.cfg.ActiveBufferEntries),
+		pe:        pe,
+		counters:  make([]int32, numSB),
+		tracked:   newBitset(numBlocks),
+		inBuffer:  newBitset(numBlocks),
+		scanOff:   make([]int32, numSB),
+		buffer:    make([]uint64, 0, pe.sys.cfg.ActiveBufferEntries),
+		occupancy: stats.Histogram{Width: 4},
 	}
 }
 
@@ -165,6 +170,7 @@ func (u *VMU) bufferFree() int { return u.pe.sys.cfg.ActiveBufferEntries - u.buf
 
 func (u *VMU) pushBuffer(block uint64) {
 	u.buffer = append(u.buffer, block)
+	u.occupancy.Observe(uint64(u.bufferLen()))
 	if u.pe.sys.cfg.Spill == SpillOverwrite {
 		u.inBuffer.set(u.pe.blockIndex(block))
 	}

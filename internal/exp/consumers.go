@@ -1,0 +1,24 @@
+package exp
+
+import "nova"
+
+// MetricConsumers maps metrics-bag keys (root-level stats-dump paths) to
+// the figures and tables of the evaluation that read them. It exists so
+// the generated STATS.md can show where each statistic feeds the paper's
+// results, and so renaming a key without updating its consumers is a
+// visible diff in one place.
+var MetricConsumers = map[string][]string{
+	nova.MetricSliceCount:          {"Fig. 1"},
+	nova.MetricProcessingSeconds:   {"Fig. 2", "Fig. 6"},
+	nova.MetricSwitchingSeconds:    {"Fig. 2", "Fig. 6"},
+	nova.MetricInefficiencySeconds: {"Fig. 2", "Fig. 6"},
+	nova.MetricOverheadSeconds:     {"Fig. 6"},
+	nova.MetricCacheHitRate:        {"Fig. 9a"},
+	nova.MetricVertexUsefulFrac:    {"Fig. 10"},
+	nova.MetricVertexWriteFrac:     {"Fig. 10"},
+	nova.MetricVertexWastefulFrac:  {"Fig. 10"},
+	nova.MetricSpills:              {"Table I"},
+	nova.MetricSpillWrites:         {"Table I"},
+	nova.MetricStaleRetrievals:     {"Table I"},
+	nova.MetricMetadataBytes:       {"Table I"},
+}

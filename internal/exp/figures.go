@@ -47,7 +47,7 @@ func Fig1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 					return nil, err
 				}
 				return []string{
-					fmt.Sprint(n), fmt.Sprint(g.NumEdges()), fmt.Sprint(int(pgRep.Metric("slice_count"))),
+					fmt.Sprint(n), fmt.Sprint(g.NumEdges()), fmt.Sprint(int(pgRep.Metric(nova.MetricSliceCount))),
 					f3(novaRep.EffectiveGTEPS()), f3(pgRep.EffectiveGTEPS()),
 					f2(pgRep.Stats.SimSeconds / novaRep.Stats.SimSeconds),
 				}, nil
@@ -87,8 +87,8 @@ func Fig2(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 					return nil, err
 				}
 				tot := rep.Stats.SimSeconds
-				return []string{fmt.Sprint(slices), pct(rep.Metric("processing_seconds") / tot),
-					pct(rep.Metric("switching_seconds") / tot), pct(rep.Metric("inefficiency_seconds") / tot)}, nil
+				return []string{fmt.Sprint(slices), pct(rep.Metric(nova.MetricProcessingSeconds) / tot),
+					pct(rep.Metric(nova.MetricSwitchingSeconds) / tot), pct(rep.Metric(nova.MetricInefficiencySeconds) / tot)}, nil
 			},
 		})
 	}
@@ -211,9 +211,9 @@ func Fig6(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 					ntot := novaRep.Stats.SimSeconds
 					ptot := pgRep.Stats.SimSeconds
 					return []string{d.Name, w,
-						pct(novaRep.Metric("processing_seconds") / ntot), pct(novaRep.Metric("overhead_seconds") / ntot),
-						pct(pgRep.Metric("processing_seconds") / ptot),
-						pct((pgRep.Metric("switching_seconds") + pgRep.Metric("inefficiency_seconds")) / ptot),
+						pct(novaRep.Metric(nova.MetricProcessingSeconds) / ntot), pct(novaRep.Metric(nova.MetricOverheadSeconds) / ntot),
+						pct(pgRep.Metric(nova.MetricProcessingSeconds) / ptot),
+						pct((pgRep.Metric(nova.MetricSwitchingSeconds) + pgRep.Metric(nova.MetricInefficiencySeconds)) / ptot),
 						f2(ptot / ntot)}, nil
 				},
 			})
@@ -370,7 +370,7 @@ func Fig9a(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		for i := range mults {
 			row = append(row, f2(reports[r*len(mults)+i].Stats.SimSeconds/base.Stats.SimSeconds))
 		}
-		row = append(row, pct(base.Metric("cache_hit_rate")))
+		row = append(row, pct(base.Metric(nova.MetricCacheHitRate)))
 		t.Rows = append(t.Rows, row)
 	}
 	t.Note("paper shape: <2%% improvement from growing the cache 64x on large graphs; only road benefits")
@@ -514,8 +514,8 @@ func Fig10(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 							return nil, err
 						}
 						return []string{d.Name, w, fmt.Sprint(dim),
-							pct(rep.Metric("vertex_useful_frac")), pct(rep.Metric("vertex_write_frac")),
-							pct(rep.Metric("vertex_wasteful_frac"))}, nil
+							pct(rep.Metric(nova.MetricVertexUsefulFrac)), pct(rep.Metric(nova.MetricVertexWriteFrac)),
+							pct(rep.Metric(nova.MetricVertexWastefulFrac))}, nil
 					},
 				})
 			}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nova"
 	"nova/internal/harness"
 	"nova/internal/resource"
 )
@@ -40,12 +41,12 @@ func Tab1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 					return nil, err
 				}
 				perSpill := 0.0
-				if rep.Metric("spills") > 0 {
-					perSpill = rep.Metric("spill_writes") / rep.Metric("spills")
+				if rep.Metric(nova.MetricSpills) > 0 {
+					perSpill = rep.Metric(nova.MetricSpillWrites) / rep.Metric(nova.MetricSpills)
 				}
-				return []string{policy, fmt.Sprint(int64(rep.Metric("spills"))), f2(perSpill),
-					fmt.Sprint(int64(rep.Metric("stale_retrievals"))),
-					fmt.Sprint(int64(rep.Metric("metadata_bytes"))),
+				return []string{policy, fmt.Sprint(int64(rep.Metric(nova.MetricSpills))), f2(perSpill),
+					fmt.Sprint(int64(rep.Metric(nova.MetricStaleRetrievals))),
+					fmt.Sprint(int64(rep.Metric(nova.MetricMetadataBytes))),
 					f3(rep.Stats.SimSeconds * 1e3)}, nil
 			},
 		})

@@ -4,12 +4,13 @@
 // grid of independent cells; the harness is the substrate that runs those
 // cells concurrently while keeping result order deterministic.
 //
-// The package deliberately depends only on graph and program so the nova
-// root package can implement adapters without an import cycle.
+// The package deliberately depends only on graph, program and stats so
+// the nova root package can implement adapters without an import cycle.
 package harness
 
 import (
 	"nova/graph"
+	"nova/internal/stats"
 	"nova/program"
 )
 
@@ -63,8 +64,13 @@ type Report struct {
 	// Scores holds BC dependency values (nil otherwise).
 	Scores []float64
 	// Metrics is the backend-specific metrics bag. Keys used by the
-	// built-in adapters are documented next to each adapter.
+	// built-in adapters are documented next to each adapter. Adapters
+	// derive the bag from Dump (Dump.Bag()), so root-level dump paths and
+	// bag keys coincide; the bag survives as the flat compatibility view.
 	Metrics map[string]float64
+	// Dump is the full hierarchical statistics dump, when the backend
+	// provides one (nil for two-phase workloads such as "bc").
+	Dump *stats.Dump
 }
 
 // Metric returns a metrics-bag entry, or 0 when absent.

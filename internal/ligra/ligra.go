@@ -16,6 +16,15 @@ import (
 	"time"
 
 	"nova/graph"
+	"nova/internal/stats"
+)
+
+// Metric names for the root-level statistics the software engine exports
+// to the harness metrics bag; they are also the stable dump paths of the
+// engine's stats tree.
+const (
+	MetricIterations  = "iterations"
+	MetricWallSeconds = "wall_seconds"
 )
 
 // Frontier is a set of active vertices, in sparse (list) or dense (bitmap)
@@ -89,6 +98,12 @@ type Engine struct {
 	// state — build one per run.
 	dedupSeen []uint32
 	dedupGen  uint32
+
+	// Direction-optimization profile: push vs pull iteration counts and
+	// frontier sizes at each EdgeMap (StatsDump reports them).
+	sparseIters uint64
+	denseIters  uint64
+	frontierLen stats.Distribution
 }
 
 // NewEngine returns an engine using all available cores.
@@ -133,9 +148,12 @@ func (e *Engine) EdgeMap(g, gT *graph.CSR, f *Frontier, fns EdgeFuncs) *Frontier
 	for _, v := range f.Vertices() {
 		frontierEdges += g.OutDegree(v)
 	}
+	e.frontierLen.Sample(float64(f.Len()))
 	if gT != nil && e.Threshold > 0 && int64(f.Len())+frontierEdges > g.NumEdges()/e.Threshold {
+		e.denseIters++
 		return e.edgeMapDense(g, gT, f, fns)
 	}
+	e.sparseIters++
 	return e.edgeMapSparse(g, f, fns)
 }
 
@@ -248,6 +266,32 @@ func (r Result) GTEPS() float64 {
 		return 0
 	}
 	return float64(r.EdgesTraversed) / r.Seconds / 1e9
+}
+
+// StatsDump renders a finished run's statistics as a dump. Wall-clock time
+// is always volatile (host timing); with more than one worker thread the
+// traversal counts and direction profile are volatile too, because atomic
+// update races make them scheduling-dependent.
+func (e *Engine) StatsDump(r Result, meta map[string]string) *stats.Dump {
+	root := stats.NewRoot()
+	seconds, iters, edges := r.Seconds, r.Iterations, r.EdgesTraversed
+	root.Formula(func() float64 { return seconds },
+		MetricWallSeconds, stats.Seconds, "host wall-clock time of the run").Volatile()
+	root.Formula(func() float64 { return float64(iters) },
+		MetricIterations, stats.Count, "edgeMap iterations until the frontier emptied")
+	racy := []*stats.Stat{
+		root.Formula(func() float64 { return float64(edges) },
+			"edges_traversed", stats.Count, "edge update attempts across the run"),
+		root.Uint64(&e.sparseIters, "sparse_iterations", stats.Count, "edgeMap iterations that pushed along out-edges"),
+		root.Uint64(&e.denseIters, "dense_iterations", stats.Count, "edgeMap iterations that pulled along in-edges"),
+		root.Distribution(&e.frontierLen, "frontier_len", stats.Entries, "active-frontier size at each edgeMap"),
+	}
+	if e.Threads > 1 {
+		for _, s := range racy {
+			s.Volatile()
+		}
+	}
+	return root.Dump(meta)
 }
 
 // writeMinInt64 atomically lowers target to val; reports whether the write

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"nova/internal/stats"
+)
 
 // Cache is the direct-mapped, write-back vertex cache inside each PE's
 // message processing unit (Section III-B). It is a structural bookkeeper:
@@ -62,6 +66,17 @@ func (c *Cache) Lines() int { return c.numLines }
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() CacheStats { return c.stats }
+
+// RegisterStats registers the cache's counters and derived hit rate under
+// g, adopting the existing CacheStats fields by pointer.
+func (c *Cache) RegisterStats(g *stats.Group) {
+	g.Uint64(&c.stats.Hits, "hits", stats.Count, "lookups that found the block resident")
+	g.Uint64(&c.stats.Misses, "misses", stats.Count, "lookups that required a memory fill")
+	g.Uint64(&c.stats.Evictions, "evictions", stats.Count, "blocks displaced from the cache")
+	g.Uint64(&c.stats.DirtyEvictions, "dirty_evictions", stats.Count, "evictions that wrote the block back")
+	g.Formula(func() float64 { return c.stats.HitRate() },
+		"hit_rate", stats.Ratio, "hits / (hits + misses)")
+}
 
 // BlockAddr returns the base address of the block containing addr.
 func (c *Cache) BlockAddr(addr uint64) uint64 {

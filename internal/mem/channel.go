@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"nova/internal/sim"
+	"nova/internal/stats"
 )
 
 // AccessKind classifies a request for the bandwidth breakdown of Fig. 10.
@@ -121,6 +122,9 @@ type Channel struct {
 	openRow []uint64
 	hasRow  []bool
 	stats   ChannelStats
+	// reqBytes buckets per-request transfer sizes (log2); updated with a
+	// plain array increment on the access path.
+	reqBytes stats.Histogram
 }
 
 // NewChannel builds a channel on the given engine. It panics on an invalid
@@ -168,6 +172,7 @@ func (c *Channel) Access(req Request) sim.Ticks {
 	}
 	n := c.atoms(req.Addr, req.Bytes)
 	moved := uint64(n * c.cfg.AtomBytes)
+	c.reqBytes.Observe(moved)
 
 	// The data bus is occupied for the transfer time only; row-buffer
 	// misses add latency (bank activate/precharge proceeds in parallel
@@ -236,6 +241,7 @@ func (c *Channel) BulkTransfer(bytes int64, kind AccessKind) sim.Ticks {
 	if bytes <= 0 {
 		return c.eng.Now()
 	}
+	c.reqBytes.Observe(uint64(bytes))
 	service := sim.Ticks(float64(bytes)/c.cfg.BytesPerCycle + 0.999999)
 	now := c.eng.Now()
 	start := now
@@ -260,6 +266,25 @@ func (c *Channel) BulkTransfer(bytes int64, kind AccessKind) sim.Ticks {
 		c.stats.LastCompletion = complete
 	}
 	return complete
+}
+
+// RegisterStats registers the channel's counters, derived utilization and
+// request-size histogram under g. The existing plain ChannelStats fields
+// are adopted by pointer, so the access path is unchanged; derived values
+// are formulas evaluated at dump time against the engine clock.
+func (c *Channel) RegisterStats(g *stats.Group) {
+	g.Uint64(&c.stats.Reads, "reads", stats.Count, "read requests serviced")
+	g.Uint64(&c.stats.Writes, "writes", stats.Count, "write requests serviced")
+	g.Uint64(&c.stats.UsefulBytes, "useful_bytes", stats.Bytes, "bytes read that the accelerator needed")
+	g.Uint64(&c.stats.WastefulBytes, "wasteful_bytes", stats.Bytes, "bytes read only to locate active vertices (tracker overfetch)")
+	g.Uint64(&c.stats.WrittenBytes, "written_bytes", stats.Bytes, "bytes written (write-backs and spills)")
+	g.Uint64(&c.stats.RowHits, "row_hits", stats.Count, "atom accesses that hit an open row buffer")
+	g.Uint64(&c.stats.RowMisses, "row_misses", stats.Count, "atom accesses that paid the row-activate penalty")
+	g.Formula(func() float64 { return float64(c.stats.BusyTicks) },
+		"busy_cycles", stats.Cycles, "cycles the data bus was occupied")
+	g.Formula(func() float64 { return c.Utilization(c.eng.Now()) },
+		"utilization", stats.Ratio, "achieved fraction of peak bandwidth over the run")
+	g.Histogram(&c.reqBytes, "request_bytes", stats.Bytes, "per-request transfer size (log2 buckets)")
 }
 
 // Utilization returns the fraction of the channel's peak bandwidth consumed

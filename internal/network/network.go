@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"nova/internal/sim"
+	"nova/internal/stats"
 )
 
 // Fabric delivers messages between PEs, identified by global PE index.
@@ -23,6 +24,9 @@ type Fabric interface {
 	Send(src, dst int, bytes int, deliver sim.Handler)
 	// Stats returns accumulated traffic counters.
 	Stats() Stats
+	// RegisterStats registers the fabric's counters and derived
+	// utilizations under g.
+	RegisterStats(g *stats.Group)
 }
 
 // Stats counts fabric traffic.
@@ -96,6 +100,13 @@ type Hierarchical struct {
 	inPort  []link
 	outPort []link
 	stats   Stats
+	// Busy-cycle accumulators for the utilization breakdown: plain float
+	// adds on the send path, divided by elapsed time at dump time.
+	intraBusy []float64
+	outBusy   []float64
+	inBusy    []float64
+	// msgBytes buckets per-message sizes (log2).
+	msgBytes stats.Histogram
 }
 
 // NewHierarchical builds the fabric for gpns GPNs of pesPerGPN PEs each.
@@ -111,6 +122,9 @@ func NewHierarchical(eng *sim.Engine, gpns, pesPerGPN int, p2p P2PConfig, xbar C
 		intra:     make([][]link, gpns),
 		inPort:    make([]link, gpns),
 		outPort:   make([]link, gpns),
+		intraBusy: make([]float64, gpns),
+		outBusy:   make([]float64, gpns),
+		inBusy:    make([]float64, gpns),
 	}
 	for g := range h.intra {
 		h.intra[g] = make([]link, pesPerGPN*pesPerGPN)
@@ -122,14 +136,18 @@ func NewHierarchical(eng *sim.Engine, gpns, pesPerGPN int, p2p P2PConfig, xbar C
 func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
 	h.stats.Messages++
 	h.stats.Bytes += uint64(bytes)
+	h.msgBytes.Observe(uint64(bytes))
 	sg, dg := src/h.pesPerGPN, dst/h.pesPerGPN
 	if sg == dg {
 		h.stats.LocalBytes += uint64(bytes)
+		h.intraBusy[sg] += float64(bytes) / h.p2p.BytesPerCycle
 		l := &h.intra[sg][(src%h.pesPerGPN)*h.pesPerGPN+dst%h.pesPerGPN]
 		l.transfer(h.eng, bytes, h.p2p.BytesPerCycle, h.p2p.Latency, deliver)
 		return
 	}
 	h.stats.InterBytes += uint64(bytes)
+	h.outBusy[sg] += float64(bytes) / h.xbar.BytesPerCycle
+	h.inBusy[dg] += float64(bytes) / h.xbar.BytesPerCycle
 	// Source GPN's output port, then destination GPN's input port. The
 	// stages arbitrate independently (the switch buffers between them),
 	// so a busy destination port does not convoy-block the source port.
@@ -143,13 +161,47 @@ func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
 // Stats implements Fabric.
 func (h *Hierarchical) Stats() Stats { return h.stats }
 
+// RegisterStats implements Fabric: traffic counters and message-size
+// histogram at the fabric root, plus per-GPN busy-cycle totals and
+// utilization formulas. Intra-GPN utilization is normalised by the
+// aggregate bandwidth of a GPN's point-to-point mesh (pesPerGPN² links);
+// crossbar ports normalise by one port's bandwidth.
+func (h *Hierarchical) RegisterStats(g *stats.Group) {
+	g.Uint64(&h.stats.Messages, "messages", stats.Count, "messages sent over the fabric")
+	g.Uint64(&h.stats.Bytes, "bytes", stats.Bytes, "total message payload moved")
+	g.Uint64(&h.stats.LocalBytes, "local_bytes", stats.Bytes, "bytes that stayed within one GPN's point-to-point mesh")
+	g.Uint64(&h.stats.InterBytes, "inter_bytes", stats.Bytes, "bytes that crossed the GPN-level crossbar")
+	g.Histogram(&h.msgBytes, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
+	elapsed := func() float64 {
+		if t := h.eng.Now(); t > 0 {
+			return float64(t)
+		}
+		return 1
+	}
+	for gi := range h.intra {
+		gi := gi
+		gg := g.Group(fmt.Sprintf("gpn%d", gi))
+		gg.Float64(&h.intraBusy[gi], "p2p_busy_cycles", stats.Cycles, "aggregate link-busy cycles on the GPN's point-to-point mesh")
+		gg.Float64(&h.outBusy[gi], "xbar_out_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar output port")
+		gg.Float64(&h.inBusy[gi], "xbar_in_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar input port")
+		links := float64(h.pesPerGPN * h.pesPerGPN)
+		gg.Formula(func() float64 { return h.intraBusy[gi] / (elapsed() * links) },
+			"p2p_utilization", stats.Ratio, "point-to-point mesh utilization (busy / elapsed·links)")
+		gg.Formula(func() float64 { return h.outBusy[gi] / elapsed() },
+			"xbar_out_utilization", stats.Ratio, "crossbar output port utilization")
+		gg.Formula(func() float64 { return h.inBusy[gi] / elapsed() },
+			"xbar_in_utilization", stats.Ratio, "crossbar input port utilization")
+	}
+}
+
 // Ideal is a fully-connected point-to-point fabric with unlimited bandwidth
 // and a fixed latency — the "P2P with infinite bandwidth" configuration of
 // Figure 9c.
 type Ideal struct {
-	eng     *sim.Engine
-	latency sim.Ticks
-	stats   Stats
+	eng      *sim.Engine
+	latency  sim.Ticks
+	stats    Stats
+	msgBytes stats.Histogram
 }
 
 // NewIdeal builds an ideal fabric.
@@ -162,8 +214,18 @@ func (i *Ideal) Send(src, dst, bytes int, deliver sim.Handler) {
 	i.stats.Messages++
 	i.stats.Bytes += uint64(bytes)
 	i.stats.LocalBytes += uint64(bytes)
+	i.msgBytes.Observe(uint64(bytes))
 	i.eng.Schedule(i.latency, deliver)
 }
 
 // Stats implements Fabric.
 func (i *Ideal) Stats() Stats { return i.stats }
+
+// RegisterStats implements Fabric. The ideal fabric has no contention, so
+// only traffic counters and message sizes are reported.
+func (i *Ideal) RegisterStats(g *stats.Group) {
+	g.Uint64(&i.stats.Messages, "messages", stats.Count, "messages sent over the fabric")
+	g.Uint64(&i.stats.Bytes, "bytes", stats.Bytes, "total message payload moved")
+	g.Uint64(&i.stats.LocalBytes, "local_bytes", stats.Bytes, "bytes delivered (all traffic is local on the ideal fabric)")
+	g.Histogram(&i.msgBytes, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
+}

@@ -20,7 +20,21 @@ import (
 	"fmt"
 
 	"nova/graph"
+	"nova/internal/stats"
 	"nova/program"
+)
+
+// Metric names for the root-level statistics the PolyGraph engine exports
+// to the harness metrics bag; they are also the stable dump paths of the
+// engine's stats tree.
+const (
+	MetricProcessingSeconds   = "processing_seconds"
+	MetricSwitchingSeconds    = "switching_seconds"
+	MetricInefficiencySeconds = "inefficiency_seconds"
+	MetricSliceCount          = "slice_count"
+	MetricRounds              = "rounds"
+	MetricSlicePasses         = "slice_passes"
+	MetricEdgeBWShare         = "edge_bw_share"
 )
 
 // Config describes a PolyGraph-style accelerator.
@@ -123,6 +137,9 @@ type Result struct {
 	// EdgeBandwidthShare is the fraction of total memory traffic spent
 	// streaming edges (the paper reports 25–35% for large graphs).
 	EdgeBandwidthShare float64
+
+	// Dump is the full hierarchical statistics dump for the run.
+	Dump *stats.Dump
 }
 
 type machine struct {
@@ -152,6 +169,12 @@ type machine struct {
 	ineffSec  float64
 	passes    []int
 	totalPass int
+
+	// windowFill profiles how full each Tw reorder window runs; root backs
+	// the stats tree and result the dump-time formulas set by collect.
+	windowFill stats.Distribution
+	root       *stats.Group
+	result     *Result
 }
 
 // Run executes p on g under the PolyGraph model.
@@ -213,6 +236,48 @@ func (m *machine) setup() {
 		m.props[v] = m.p.InitProp(graph.VertexID(v), m.g)
 	}
 	m.passes = make([]int, m.slices)
+	m.buildStatsTree()
+}
+
+// buildStatsTree registers the machine's statistics: root-level formulas
+// carry the legacy metrics-bag names (evaluated against m.result, which
+// collect sets before dumping), traffic counters adopt the existing plain
+// fields, and per-slice schedule detail nests under slice<i>.
+func (m *machine) buildStatsTree() {
+	root := stats.NewRoot()
+	m.root = root
+	res := func(f func(r *Result) float64) func() float64 {
+		return func() float64 {
+			if m.result == nil {
+				return 0
+			}
+			return f(m.result)
+		}
+	}
+	root.Formula(res(func(r *Result) float64 { return r.ProcessingSeconds }),
+		MetricProcessingSeconds, stats.Seconds, "first-pass slice work (Fig. 2)")
+	root.Formula(res(func(r *Result) float64 { return r.SwitchingSeconds }),
+		MetricSwitchingSeconds, stats.Seconds, "slice vertex I/O and replicated-vertex synchronization (Fig. 2)")
+	root.Formula(res(func(r *Result) float64 { return r.InefficiencySeconds }),
+		MetricInefficiencySeconds, stats.Seconds, "repeat-pass work caused by inter-slice dependencies (Fig. 2)")
+	root.Formula(res(func(r *Result) float64 { return float64(r.SliceCount) }),
+		MetricSliceCount, stats.Count, "temporal slices the graph needs on-chip")
+	root.Formula(res(func(r *Result) float64 { return float64(r.Rounds) }),
+		MetricRounds, stats.Count, "outer rounds over the slice schedule")
+	root.Formula(res(func(r *Result) float64 { return float64(r.SlicePasses) }),
+		MetricSlicePasses, stats.Count, "total slice activations (≥ slice_count on multi-round runs)")
+	root.Formula(res(func(r *Result) float64 { return r.EdgeBandwidthShare }),
+		MetricEdgeBWShare, stats.Ratio, "fraction of memory traffic spent streaming edges")
+	root.Uint64(&m.edgeBytes, "edge_bytes", stats.Bytes, "bytes spent streaming edges")
+	root.Uint64(&m.msgIOBytes, "msg_io_bytes", stats.Bytes, "bytes spent buffering and re-reading inter-slice messages")
+	root.Uint64(&m.switchBytes, "switch_bytes", stats.Bytes, "bytes spent on slice vertex I/O and replica synchronization")
+	root.Distribution(&m.windowFill, "reorder_window_fill", stats.Entries, "messages per Tw reorder window")
+	for s := 0; s < m.slices; s++ {
+		sg := root.Group(fmt.Sprintf("slice%d", s))
+		sg.Int(&m.passes[s], "passes", stats.Count, "times this slice was activated")
+		sg.Int64(&m.sliceVerts[s], "vertices", stats.Count, "vertices resident in this slice")
+		sg.Int64(&m.boundary[s], "replicated_vertices", stats.Count, "boundary vertices replicated across slices")
+	}
 }
 
 // chargeSwitch accounts a slice switch (skipped for non-sliced execution).
@@ -355,6 +420,7 @@ func (m *machine) runAsync() error {
 					end = len(batch)
 				}
 				chunk := batch[base:end]
+				m.windowFill.Sample(float64(len(chunk)))
 				// Tw reordering: sort the window by destination so
 				// same-vertex updates merge before processing.
 				sortByDst(chunk)
@@ -531,5 +597,12 @@ func (m *machine) collect() *Result {
 	if sum := float64(m.edgeBytes + m.msgIOBytes + m.switchBytes); sum > 0 {
 		r.EdgeBandwidthShare = float64(m.edgeBytes) / sum
 	}
+	// Set before dumping: the root formulas read m.result.
+	m.result = r
+	r.Dump = m.root.Dump(map[string]string{
+		"engine":  "polygraph",
+		"program": m.p.Name(),
+		"graph":   m.g.Name,
+	})
 	return r
 }

@@ -2,6 +2,11 @@
 // (chrome://tracing / Perfetto), giving the same pipeline visibility
 // gem5's trace flags provide: MGU propagation spans, VMU prefetch
 // batches, BSP barriers and occupancy counters, per PE.
+//
+// Produce a trace with `novasim -trace FILE` (nova engine only) or
+// programmatically via Accelerator.RunTraced. Tracing complements the
+// aggregate view of internal/stats: stats answer "how much, in total",
+// a trace answers "when, and overlapping what".
 package trace
 
 import (

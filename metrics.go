@@ -1,0 +1,47 @@
+package nova
+
+import (
+	"nova/internal/core"
+	"nova/internal/ligra"
+	"nova/internal/polygraph"
+)
+
+// Metric name constants for the engines' metrics-bag keys (equivalently,
+// the root-level record paths of their stats dumps). They are defined in
+// the engine packages that produce them and re-exported here so the
+// experiment layer and external callers share one set of names; see
+// STATS.md for the generated reference of every statistic.
+const (
+	// NOVA accelerator (nova engine).
+	MetricCycles             = core.MetricCycles
+	MetricEdgeUtilization    = core.MetricEdgeUtilization
+	MetricVertexUsefulFrac   = core.MetricVertexUsefulFrac
+	MetricVertexWriteFrac    = core.MetricVertexWriteFrac
+	MetricVertexWastefulFrac = core.MetricVertexWastefulFrac
+	MetricProcessingSeconds  = core.MetricProcessingSeconds
+	MetricOverheadSeconds    = core.MetricOverheadSeconds
+	MetricCacheHitRate       = core.MetricCacheHitRate
+	MetricOnChipBytes        = core.MetricOnChipBytes
+	MetricSpills             = core.MetricSpills
+	MetricDirectPushes       = core.MetricDirectPushes
+	MetricSpillWrites        = core.MetricSpillWrites
+	MetricStaleRetrievals    = core.MetricStaleRetrievals
+	MetricMetadataBytes      = core.MetricMetadataBytes
+	MetricNetworkBytes       = core.MetricNetworkBytes
+	MetricNetworkInterBytes  = core.MetricNetworkInterBytes
+	MetricLoadImbalance      = core.MetricLoadImbalance
+
+	// PolyGraph baseline (polygraph engine). processing_seconds is shared
+	// with NOVA — both engines report a processing-time component under
+	// the same key, which is what lets Fig. 6 stack them side by side.
+	MetricSwitchingSeconds    = polygraph.MetricSwitchingSeconds
+	MetricInefficiencySeconds = polygraph.MetricInefficiencySeconds
+	MetricSliceCount          = polygraph.MetricSliceCount
+	MetricRounds              = polygraph.MetricRounds
+	MetricSlicePasses         = polygraph.MetricSlicePasses
+	MetricEdgeBWShare         = polygraph.MetricEdgeBWShare
+
+	// Ligra-style software baseline (ligra engine).
+	MetricIterations  = ligra.MetricIterations
+	MetricWallSeconds = ligra.MetricWallSeconds
+)

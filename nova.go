@@ -20,6 +20,7 @@ import (
 	"nova/internal/core"
 	"nova/internal/harness"
 	"nova/internal/ref"
+	"nova/internal/stats"
 	"nova/internal/trace"
 	"nova/program"
 )
@@ -179,6 +180,9 @@ type Report struct {
 	NetworkInterBytes uint64
 	// LoadImbalance is max(per-PE propagations)/mean (1.0 = balanced).
 	LoadImbalance float64
+	// Dump is the full hierarchical statistics dump (per-PE, per-channel,
+	// per-link detail); the flat fields above are its root-level records.
+	Dump *stats.Dump
 }
 
 // GTEPS returns effective throughput: sequential-work edges per second in
@@ -234,6 +238,7 @@ func reportFromCore(res *core.Result) *Report {
 		NetworkBytes:       res.Net.Bytes,
 		NetworkInterBytes:  res.Net.InterBytes,
 		LoadImbalance:      res.LoadImbalance(),
+		Dump:               res.Dump,
 	}
 }
 
@@ -280,12 +285,15 @@ var _ program.Runner = (*Accelerator)(nil)
 // call builds a private core.System, so the engine is safe for concurrent
 // use by harness.Pool workers.
 //
-// Metrics-bag keys: cycles, edge_utilization, vertex_useful_frac,
-// vertex_write_frac, vertex_wasteful_frac, processing_seconds,
-// overhead_seconds, cache_hit_rate, onchip_bytes, spills, direct_pushes,
-// spill_writes, stale_retrievals, metadata_bytes, network_bytes,
-// network_inter_bytes, load_imbalance. The two-phase "bc" workload
-// reports Stats only.
+// The metrics bag is derived from the run's stats dump (Report.Dump), so
+// its keys are the dump's record paths: the root-level legacy keys
+// (cycles, edge_utilization, vertex_useful_frac, vertex_write_frac,
+// vertex_wasteful_frac, processing_seconds, overhead_seconds,
+// cache_hit_rate, onchip_bytes, spills, direct_pushes, spill_writes,
+// stale_retrievals, metadata_bytes, network_bytes, network_inter_bytes,
+// load_imbalance — see the Metric* constants) plus hierarchical detail
+// (gpn0.pe3.vmu.spills, network.gpn0.p2p_utilization, …). The two-phase
+// "bc" workload reports Stats only.
 func (a *Accelerator) Engine() harness.Engine { return novaEngine{a} }
 
 type novaEngine struct{ acc *Accelerator }
@@ -339,25 +347,8 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 		return nil, err
 	}
 	out.Props, out.Stats = rep.Props, rep.Stats
-	out.Metrics = map[string]float64{
-		"cycles":              float64(rep.Cycles),
-		"edge_utilization":    rep.EdgeUtilization,
-		"vertex_useful_frac":  rep.VertexUsefulFrac,
-		"vertex_write_frac":   rep.VertexWriteFrac,
-		"vertex_wasteful_frac": rep.VertexWastefulFrac,
-		"processing_seconds":  rep.ProcessingSeconds,
-		"overhead_seconds":    rep.OverheadSeconds,
-		"cache_hit_rate":      rep.CacheHitRate,
-		"onchip_bytes":        float64(rep.OnChipBytes),
-		"spills":              float64(rep.Spills),
-		"direct_pushes":       float64(rep.DirectPushes),
-		"spill_writes":        float64(rep.SpillWrites),
-		"stale_retrievals":    float64(rep.StaleRetrievals),
-		"metadata_bytes":      float64(rep.MetadataBytes),
-		"network_bytes":       float64(rep.NetworkBytes),
-		"network_inter_bytes": float64(rep.NetworkInterBytes),
-		"load_imbalance":      rep.LoadImbalance,
-	}
+	out.Dump = rep.Dump
+	out.Metrics = rep.Dump.Bag()
 	return out, nil
 }
 
