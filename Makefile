@@ -12,7 +12,13 @@ BENCH_FIGS  ?= fig1,fig2,fig4,fig10
 
 BENCH_SIM_OUT ?= BENCH_sim.json
 
-.PHONY: all build vet test race bench bench-sim golden fmt-check stats-md
+# bench-check compares a fresh event-kernel record against the checked-in
+# one. Timing drift warns (runners vary); allocations gate.
+BENCH_CHECK_OUT       ?= /tmp/BENCH_sim.fresh.json
+BENCH_CHECK_THRESHOLD ?= 50
+
+.PHONY: all build vet test race bench bench-sim bench-check golden \
+	fmt-check stats-md staticcheck spill-stress
 
 all: build vet test
 
@@ -36,6 +42,23 @@ bench: build
 bench-sim: build
 	$(GO) run ./cmd/simbench -o $(BENCH_SIM_OUT)
 	@cat $(BENCH_SIM_OUT)
+
+bench-check: build
+	$(GO) run ./cmd/simbench -o $(BENCH_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_CHECK_THRESHOLD) -warn-only \
+		-assert-zero 'benchmarks.*allocs_per_event' BENCH_sim.json $(BENCH_CHECK_OUT)
+
+# Run the spill-stress workload (delta PageRank on the large tier, active
+# buffers shrunk far below the active set) and dump its stats.
+spill-stress: build
+	$(GO) run ./cmd/novasim -engine nova -workload prdelta -graph twitter \
+		-scale large -stats-out spill_stress_stats.json
+
+# staticcheck is optional locally (not vendored); CI installs it.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; go install honnef.co/go/tools/cmd/staticcheck@latest"; exit 1; }
+	staticcheck ./...
 
 # Refresh the golden statistics dump after an intentional behavior
 # change. Review `statdiff` output against the old file before committing.

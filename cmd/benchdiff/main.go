@@ -1,0 +1,213 @@
+// Command benchdiff compares two benchmark-record JSON files
+// (BENCH_sim.json, BENCH_harness.json) and fails when the new record
+// regresses past a threshold — the Go replacement for the inline python
+// comparison CI used to carry.
+//
+// Every numeric leaf is flattened to a dotted path
+// (benchmarks.event_throughput.ns_per_event) and compared against the
+// same path in the old record. Leaves only one file has are reported but
+// never fail the run. Paths ending in _per_sec or speedup are
+// higher-is-better; everything else is lower-is-better.
+//
+// Usage:
+//
+//	benchdiff -threshold 50 old.json new.json
+//	benchdiff -warn-only -assert-zero allocs_per_event old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 50, "allowed regression in percent before failing")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but always exit 0")
+	assertZero := flag.String("assert-zero", "", "comma-separated path substrings whose new value must be 0 (e.g. allocs_per_event)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldLeaves, err := loadLeaves(flag.Arg(0))
+	check(err)
+	newLeaves, err := loadLeaves(flag.Arg(1))
+	check(err)
+
+	report := Compare(oldLeaves, newLeaves, *threshold, splitList(*assertZero))
+	for _, l := range report.Lines {
+		fmt.Println(l)
+	}
+	if len(report.Failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) past %.0f%% threshold\n",
+			len(report.Failures), *threshold)
+	}
+	if len(report.ZeroFailures) > 0 {
+		// -warn-only waives timing variance, never correctness: a violated
+		// zero constraint (e.g. allocs_per_event) always fails.
+		fmt.Fprintf(os.Stderr, "benchdiff: %d violated zero constraint(s)\n", len(report.ZeroFailures))
+		os.Exit(1)
+	}
+	if len(report.Failures) > 0 && !*warnOnly {
+		os.Exit(1)
+	}
+}
+
+// Report is the outcome of one comparison.
+type Report struct {
+	// Lines is the human-readable per-path report, sorted by path.
+	Lines []string
+	// Failures lists the paths that regressed past the threshold.
+	Failures []string
+	// ZeroFailures lists the paths that broke an -assert-zero constraint;
+	// these fail the run even under -warn-only.
+	ZeroFailures []string
+}
+
+// Compare diffs two flattened records. threshold is the allowed
+// regression in percent; assertZero lists path substrings whose new value
+// must be exactly 0.
+func Compare(oldLeaves, newLeaves map[string]float64, threshold float64, assertZero []string) *Report {
+	r := &Report{}
+	paths := make([]string, 0, len(newLeaves))
+	for p := range newLeaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		nv := newLeaves[p]
+		for _, sub := range assertZero {
+			if sub != "" && matchPath(sub, p) && nv != 0 {
+				r.ZeroFailures = append(r.ZeroFailures, p)
+				r.Lines = append(r.Lines, fmt.Sprintf("FAIL %s = %v, want 0", p, nv))
+			}
+		}
+		ov, ok := oldLeaves[p]
+		if !ok {
+			r.Lines = append(r.Lines, fmt.Sprintf("new  %s = %v (no baseline)", p, nv))
+			continue
+		}
+		pct := regressionPercent(p, ov, nv)
+		switch {
+		case pct > threshold:
+			r.Failures = append(r.Failures, p)
+			r.Lines = append(r.Lines, fmt.Sprintf("FAIL %s: %v -> %v (%+.1f%% worse)", p, ov, nv, pct))
+		case pct > 0:
+			r.Lines = append(r.Lines, fmt.Sprintf("ok   %s: %v -> %v (%+.1f%% worse, within threshold)", p, ov, nv, pct))
+		default:
+			r.Lines = append(r.Lines, fmt.Sprintf("ok   %s: %v -> %v", p, ov, nv))
+		}
+	}
+	var gone []string
+	for p := range oldLeaves {
+		if _, ok := newLeaves[p]; !ok {
+			gone = append(gone, p)
+		}
+	}
+	sort.Strings(gone)
+	for _, p := range gone {
+		r.Lines = append(r.Lines, fmt.Sprintf("gone %s (only in baseline)", p))
+	}
+	return r
+}
+
+// regressionPercent returns how much worse the new value is, in percent
+// (≤ 0 when equal or improved). Direction depends on the path: rates and
+// speedups are higher-is-better, latencies and counts lower-is-better.
+func regressionPercent(path string, oldV, newV float64) float64 {
+	if oldV == 0 {
+		if newV == 0 {
+			return 0
+		}
+		if higherIsBetter(path) {
+			return -100 // something from nothing is an improvement
+		}
+		return 100
+	}
+	if higherIsBetter(path) {
+		return (oldV - newV) / oldV * 100
+	}
+	return (newV - oldV) / oldV * 100
+}
+
+func higherIsBetter(path string) bool {
+	return strings.HasSuffix(path, "_per_sec") || strings.HasSuffix(path, "speedup")
+}
+
+// matchPath matches an -assert-zero pattern against a dotted path: plain
+// patterns match as substrings; patterns with * or ? match the whole path
+// as a glob (dots are ordinary characters, so * crosses levels — e.g.
+// "benchmarks.*allocs_per_event" pins the live benchmarks subtree without
+// touching the recorded seed_baseline).
+func matchPath(pat, p string) bool {
+	if !strings.ContainsAny(pat, "*?[") {
+		return strings.Contains(p, pat)
+	}
+	ok, err := path.Match(pat, p)
+	return err == nil && ok
+}
+
+// loadLeaves parses a JSON file and flattens every numeric leaf to a
+// dotted path.
+func loadLeaves(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	Flatten("", v, out)
+	return out, nil
+}
+
+// Flatten walks a decoded JSON value, recording numeric leaves under
+// dotted paths (array indices become path elements).
+func Flatten(prefix string, v any, out map[string]float64) {
+	switch x := v.(type) {
+	case float64:
+		out[prefix] = x
+	case bool, string, nil:
+		// non-numeric leaves carry no benchmark signal
+	case map[string]any:
+		for k, child := range x {
+			Flatten(joinPath(prefix, k), child, out)
+		}
+	case []any:
+		for i, child := range x {
+			Flatten(joinPath(prefix, fmt.Sprint(i)), child, out)
+		}
+	}
+}
+
+func joinPath(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "." + k
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

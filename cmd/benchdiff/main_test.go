@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func leaves(t *testing.T, src string) map[string]float64 {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal([]byte(src), &v); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	Flatten("", v, out)
+	return out
+}
+
+func TestFlattenDottedPaths(t *testing.T) {
+	got := leaves(t, `{"a":{"b":1.5,"c":[2,3]},"d":"text","e":true,"f":4}`)
+	want := map[string]float64{"a.b": 1.5, "a.c.0": 2, "a.c.1": 3, "f": 4}
+	if len(got) != len(want) {
+		t.Fatalf("flattened %d leaves, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	oldL := leaves(t, `{"ns_per_event":10,"events_per_sec":100,"speedup":2}`)
+
+	// Lower-is-better regression past threshold fails.
+	r := Compare(oldL, leaves(t, `{"ns_per_event":20,"events_per_sec":100,"speedup":2}`), 50, nil)
+	if len(r.Failures) != 1 || r.Failures[0] != "ns_per_event" {
+		t.Fatalf("failures = %v, want [ns_per_event]", r.Failures)
+	}
+	// Same delta within threshold passes.
+	r = Compare(oldL, leaves(t, `{"ns_per_event":14,"events_per_sec":100,"speedup":2}`), 50, nil)
+	if len(r.Failures) != 0 {
+		t.Fatalf("within-threshold comparison failed: %v", r.Failures)
+	}
+	// Higher-is-better: dropping throughput fails, raising latency-style
+	// interpretation must not.
+	r = Compare(oldL, leaves(t, `{"ns_per_event":10,"events_per_sec":30,"speedup":2}`), 50, nil)
+	if len(r.Failures) != 1 || r.Failures[0] != "events_per_sec" {
+		t.Fatalf("failures = %v, want [events_per_sec]", r.Failures)
+	}
+	// Improvements never fail.
+	r = Compare(oldL, leaves(t, `{"ns_per_event":1,"events_per_sec":900,"speedup":9}`), 50, nil)
+	if len(r.Failures) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", r.Failures)
+	}
+}
+
+func TestCompareAssertZero(t *testing.T) {
+	oldL := leaves(t, `{"allocs_per_event":0}`)
+	r := Compare(oldL, leaves(t, `{"allocs_per_event":3}`), 1000, []string{"allocs_per_event"})
+	if len(r.ZeroFailures) == 0 {
+		t.Fatal("nonzero allocs_per_event not flagged")
+	}
+	r = Compare(oldL, leaves(t, `{"allocs_per_event":0}`), 1000, []string{"allocs_per_event"})
+	if len(r.ZeroFailures) != 0 {
+		t.Fatalf("zero allocs flagged: %v", r.ZeroFailures)
+	}
+}
+
+func TestAssertZeroGlobScoping(t *testing.T) {
+	// A glob pattern must pin the live benchmarks subtree without flagging
+	// the checked-in seed_baseline record, which legitimately allocates.
+	src := `{"benchmarks":{"fan_out":{"allocs_per_event":0}},
+	         "seed_baseline":{"fan_out":{"allocs_per_event":1}}}`
+	r := Compare(leaves(t, src), leaves(t, src), 1000, []string{"benchmarks.*allocs_per_event"})
+	if len(r.ZeroFailures) != 0 {
+		t.Fatalf("seed_baseline caught by scoped glob: %v", r.ZeroFailures)
+	}
+	bad := `{"benchmarks":{"fan_out":{"allocs_per_event":2}},
+	         "seed_baseline":{"fan_out":{"allocs_per_event":1}}}`
+	r = Compare(leaves(t, src), leaves(t, bad), 1000, []string{"benchmarks.*allocs_per_event"})
+	if len(r.ZeroFailures) != 1 || r.ZeroFailures[0] != "benchmarks.fan_out.allocs_per_event" {
+		t.Fatalf("zero failures = %v, want [benchmarks.fan_out.allocs_per_event]", r.ZeroFailures)
+	}
+}
+
+func TestCompareUnsharedPathsNeverFail(t *testing.T) {
+	oldL := leaves(t, `{"gone_metric":5}`)
+	newL := leaves(t, `{"fresh_metric":7}`)
+	r := Compare(oldL, newL, 0, nil)
+	if len(r.Failures) != 0 {
+		t.Fatalf("unshared paths failed the diff: %v", r.Failures)
+	}
+	joined := strings.Join(r.Lines, "\n")
+	for _, want := range []string{"fresh_metric", "gone_metric"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report does not mention %s:\n%s", want, joined)
+		}
+	}
+}
+
+func TestZeroBaseline(t *testing.T) {
+	oldL := leaves(t, `{"count":0}`)
+	r := Compare(oldL, leaves(t, `{"count":5}`), 50, nil)
+	if len(r.Failures) != 1 {
+		t.Fatalf("something-from-zero regression not flagged: %v", r.Lines)
+	}
+	r = Compare(oldL, leaves(t, `{"count":0}`), 50, nil)
+	if len(r.Failures) != 0 {
+		t.Fatalf("zero-to-zero flagged: %v", r.Failures)
+	}
+}

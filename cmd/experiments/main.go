@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments -scale small|medium|full [-only fig4,tab1] [-jobs N] [-markdown]
+//	experiments -scale small|medium|full|large [-only fig4,tab1] [-jobs N] [-markdown]
 //
 // Each experiment prints the same rows/series the paper reports, plus a
 // note recalling the paper's expected shape. Independent simulation cells
@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "small", "dataset scale: small|medium|full")
+	scaleFlag := flag.String("scale", "small", "dataset scale: small|medium|full|large")
 	onlyFlag := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
 	list := flag.Bool("list", false, "list experiment IDs and exit")

@@ -1,12 +1,21 @@
 // Command graphgen generates the synthetic graphs used by the
 // reproduction and prints their statistics, optionally dumping the edge
-// list as tab-separated "src dst weight" lines.
+// list as tab-separated "src dst weight" lines or writing the versioned
+// binary CSR container.
 //
 // Usage:
 //
 //	graphgen -kind rmat -vertices 65536 -degree 16 -seed 7
 //	graphgen -kind grid -rows 128 -cols 128 -drop 0.39
 //	graphgen -kind uniform -vertices 100000 -degree 31 -dump
+//
+// With -stream and -o the graph is generated edge-by-edge and scattered
+// into the container in bounded chunks, so multi-million-edge graphs
+// build in constant memory (never holding the edge list or the CSR):
+//
+//	graphgen -kind rmat -vertices 4194304 -degree 16 -stream -o big.csr
+//	graphgen -info big.csr
+//	novasim -engine nova -workload prdelta -graph-file big.csr
 package main
 
 import (
@@ -29,19 +38,67 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dump := flag.Bool("dump", false, "write edge list to stdout")
 	parts := flag.Int("parts", 0, "if >0, report partitioner statistics for this many parts")
+	stream := flag.Bool("stream", false, "generate via the constant-memory streaming generators")
+	out := flag.String("o", "", "write the binary CSR container to FILE")
+	chunkEdges := flag.Int64("chunk-edges", 0, "scatter-buffer budget for streaming container builds (0 = default)")
+	info := flag.String("info", "", "print the header of a binary CSR container and exit")
 	flag.Parse()
 
+	if *info != "" {
+		fi, err := graph.StatCSRFile(*info)
+		check(err)
+		fmt.Printf("%s: format v%d, V=%d E=%d, rowptr %d bytes, edges %d bytes\n",
+			*info, fi.Version, fi.NumVertices, fi.NumEdges, fi.RowPtrBytes, fi.EdgeBytes)
+		return
+	}
+
+	var st graph.EdgeStream
+	if *stream || *out != "" {
+		switch *kind {
+		case "rmat":
+			st = graph.NewRMATStream("rmat", *vertices, *degree, graph.DefaultRMAT, uint32(*maxWeight), *seed)
+		case "uniform":
+			st = graph.NewUniformStream("uniform", *vertices, *degree, uint32(*maxWeight), *seed)
+		case "grid":
+			st = graph.NewGridStream("grid", *rows, *cols, *drop, uint32(*maxWeight), *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+			os.Exit(1)
+		}
+	}
+
+	// Streaming container build: the edge stream scatters straight into
+	// the file in bounded chunks — the only path that never materializes
+	// the graph, so it is what the large tier uses.
+	if *out != "" && *stream {
+		fi, err := graph.BuildCSRFile(*out, st, graph.BuildOptions{ChunkEdges: *chunkEdges})
+		check(err)
+		fmt.Fprintf(os.Stderr, "%s: V=%d E=%d written to %s (constant-memory build)\n",
+			st.Name(), fi.NumVertices, fi.NumEdges, *out)
+		return
+	}
+
 	var g *graph.CSR
-	switch *kind {
-	case "rmat":
-		g = graph.GenRMATN("rmat", *vertices, *degree, graph.DefaultRMAT, uint32(*maxWeight), *seed)
-	case "uniform":
-		g = graph.GenUniform("uniform", *vertices, *degree, uint32(*maxWeight), *seed)
-	case "grid":
-		g = graph.GenGrid("grid", *rows, *cols, *drop, uint32(*maxWeight), *seed)
+	switch {
+	case st != nil:
+		g = graph.FromStream(st)
 	default:
-		fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
-		os.Exit(1)
+		switch *kind {
+		case "rmat":
+			g = graph.GenRMATN("rmat", *vertices, *degree, graph.DefaultRMAT, uint32(*maxWeight), *seed)
+		case "uniform":
+			g = graph.GenUniform("uniform", *vertices, *degree, uint32(*maxWeight), *seed)
+		case "grid":
+			g = graph.GenGrid("grid", *rows, *cols, *drop, uint32(*maxWeight), *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "graphgen: unknown kind %q\n", *kind)
+			os.Exit(1)
+		}
+	}
+
+	if *out != "" {
+		check(graph.WriteCSRFile(*out, g))
+		fmt.Fprintf(os.Stderr, "container written to %s\n", *out)
 	}
 
 	fmt.Fprintf(os.Stderr, "%s: V=%d E=%d avg-deg=%.2f max-deg=%d footprint=%d bytes\n",
@@ -67,5 +124,12 @@ func main() {
 		for _, e := range g.Edges() {
 			fmt.Fprintf(w, "%d\t%d\t%d\n", e.Src, e.Dst, e.Weight)
 		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
 	}
 }

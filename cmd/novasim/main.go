@@ -39,16 +39,16 @@ import (
 
 func main() {
 	engine := flag.String("engine", "nova", "nova|polygraph|ligra, comma-separated list, or all")
-	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc, comma-separated list, or all")
+	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc|prdelta, comma-separated list, or all")
 	graphName := flag.String("graph", "twitter", "road|twitter|friendster|host|urand")
-	scaleFlag := flag.String("scale", "small", "small|medium|full")
+	scaleFlag := flag.String("scale", "small", "small|medium|full|large")
 	gpns := flag.Int("gpns", 1, "number of GPNs (nova engine)")
 	mapping := flag.String("mapping", "random", "random|interleave|load-balanced|locality")
 	spill := flag.String("spill", "overwrite", "overwrite|fifo")
 	fabric := flag.String("fabric", "hierarchical", "hierarchical|ideal")
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
-	graphFile := flag.String("graph-file", "", "load graph from an edge-list file instead of the registry")
+	graphFile := flag.String("graph-file", "", "load graph from a file instead of the registry (.csr = binary CSR container, else edge list)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
 	statsOut := flag.String("stats-out", "", "write the merged statistics dump to FILE (.json, .csv, or .txt by extension)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
@@ -60,10 +60,18 @@ func main() {
 	check(err)
 	var d *exp.Dataset
 	if *graphFile != "" {
-		f, err := os.Open(*graphFile)
-		check(err)
-		loaded, err := graph.ReadEdgeList(*graphFile, f)
-		f.Close()
+		var loaded *graph.CSR
+		if strings.HasSuffix(*graphFile, ".csr") {
+			// The versioned binary CSR container: checksummed, loaded in
+			// constant memory (graphgen -o writes it).
+			loaded, err = graph.ReadCSRFile(*graphFile)
+		} else {
+			var f *os.File
+			f, err = os.Open(*graphFile)
+			check(err)
+			loaded, err = graph.ReadEdgeList(*graphFile, f)
+			f.Close()
+		}
 		check(err)
 		d = &exp.Dataset{Name: loaded.Name, Graph: loaded, Root: loaded.LargestOutDegreeVertex()}
 	} else {
@@ -81,10 +89,16 @@ func main() {
 	}
 
 	g := d.Graph
-	var gT = d.Transpose()
-	if *workload == "cc" {
+	var gT *graph.CSR
+	switch {
+	case *workload == "cc":
 		g = d.Sym()
 		gT = g
+	case *workload == "bc" || *engine == "ligra":
+		// Only bc and the pull-direction software engine consume the
+		// transpose; building it unconditionally would double the memory
+		// footprint of large-tier runs.
+		gT = d.Transpose()
 	}
 	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
 		g.Name, g.NumVertices(), g.NumEdges(), g.AvgDegree())
@@ -119,6 +133,9 @@ func main() {
 			fmt.Println("verified against sequential oracle: OK")
 		}
 	case "polygraph":
+		if *workload == nova.SpillStressWorkload {
+			check(fmt.Errorf("%q is the NOVA spill-stress workload; run it with -engine nova", *workload))
+		}
 		pg := exp.PGBaseline(scale)
 		out, err := nova.RunWorkload(pg, *workload, g, gT, d.Root, *prIters)
 		check(err)
@@ -156,6 +173,8 @@ func singleProgram(workload string, d *exp.Dataset, prIters int) program.Program
 		return program.NewCC()
 	case "pr":
 		return program.NewPageRank(0.85, prIters)
+	case "prdelta":
+		return program.NewPRDelta(0.85, 1e-7) // see nova.SpillStressWorkload on the tolerance
 	default:
 		return nil
 	}
@@ -229,15 +248,19 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 		check(err)
 		for _, w := range workloads {
 			eng, w := eng, w
-			g, gT := d.Graph, d.Transpose()
-			if w == "cc" {
+			g := d.Graph
+			var gT *graph.CSR
+			switch {
+			case w == "cc":
 				g = d.Sym()
 				gT = g
+			case w == "bc" || en == "ligra":
+				gT = d.Transpose() // cached across cells by the dataset
 			}
 			jobs = append(jobs, harness.Job[*harness.Report]{
 				Name: fmt.Sprintf("%s/%s", eng.Name(), w),
 				Run: func(context.Context) (*harness.Report, error) {
-					return eng.RunWorkload(harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters})
+					return eng.RunWorkload(harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters, Tier: scale.String()})
 				},
 			})
 		}
@@ -252,8 +275,10 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 	wall := time.Since(start)
 
 	fmt.Printf("%-10s %-8s %12s %14s %12s %10s\n", "engine", "workload", "time(ms)", "edges", "eff-gteps", "work-eff")
+	failed := 0
 	for _, r := range results {
 		if r.Err != nil {
+			failed++
 			fmt.Printf("%-10s %s\n", r.Name, r.Err)
 			continue
 		}
@@ -270,6 +295,12 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 		len(jobs), wall.Round(time.Millisecond), busy.Round(time.Millisecond), jobsN, speedup)
 	if statsOut != "" {
 		check(writeStatsDump(results, d, statsOut))
+	}
+	if failed > 0 {
+		// A failed cell must fail the process, or CI reads a partial (even
+		// empty) stats dump as a green run.
+		fmt.Fprintf(os.Stderr, "novasim: %d of %d cells failed\n", failed, len(jobs))
+		os.Exit(1)
 	}
 }
 

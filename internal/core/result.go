@@ -109,6 +109,7 @@ func (s *System) collectResult() *Result {
 		r.VMU.PrefetchedBlocks += v.PrefetchedBlocks
 		r.VMU.PrefetchHits += v.PrefetchHits
 		r.VMU.StaleRetrievals += v.StaleRetrievals
+		r.VMU.BatchHits.Merge(v.BatchHits)
 		r.VMU.MetadataBytes += v.MetadataBytes
 		if v.FIFOMaxDepth > r.VMU.FIFOMaxDepth {
 			r.VMU.FIFOMaxDepth = v.FIFOMaxDepth

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nova/program"
+)
+
+// spillConfig shrinks the active buffers far below the working set so the
+// VMU's spill/recovery machinery carries the run — the regime the large
+// scale tier operates in, compressed to test size.
+func spillConfig(policy SpillPolicy) Config {
+	cfg := testConfig()
+	cfg.Spill = policy
+	cfg.ActiveBufferEntries = 8
+	cfg.PrefetchBatch = 4
+	return cfg
+}
+
+func TestOverwriteSpillCoverage(t *testing.T) {
+	g := randGraph(7, 600, 4800)
+	res := runOn(t, spillConfig(SpillOverwrite), g, program.NewSSSP(g.LargestOutDegreeVertex()))
+	v := res.VMU
+	if v.Spills == 0 {
+		t.Fatal("no spills: buffer never overflowed, spill path untested")
+	}
+	if v.PrefetchedBlocks == 0 || v.PrefetchHits == 0 {
+		t.Fatalf("recovery never ran: prefetched=%d hits=%d", v.PrefetchedBlocks, v.PrefetchHits)
+	}
+	if v.PrefetchHits > v.PrefetchedBlocks {
+		t.Fatalf("more hits (%d) than prefetched blocks (%d)", v.PrefetchHits, v.PrefetchedBlocks)
+	}
+	if v.SpillWrites != 0 {
+		t.Fatalf("overwrite policy issued %d spill writes, want 0 (Table I)", v.SpillWrites)
+	}
+
+	// Recovery-hit distribution: one sample per completed prefetch batch,
+	// each bounded by the batch size, summing to the aggregate hit count.
+	d := v.BatchHits
+	if d.N() == 0 {
+		t.Fatal("no recovery batches observed")
+	}
+	if d.Max() > float64(spillConfig(SpillOverwrite).PrefetchBatch) {
+		t.Fatalf("batch recovered %.0f blocks, more than the batch size", d.Max())
+	}
+	if got := d.Mean() * float64(d.N()); math.Abs(got-float64(v.PrefetchHits)) > 0.5 {
+		t.Fatalf("batch-hit samples sum to %.1f, want %d (= prefetch hits)", got, v.PrefetchHits)
+	}
+
+	// The derived tracker-precision metric must land in (0, 1] and show up
+	// in the dump the harness exports.
+	bag := res.Dump.Bag()
+	rate, ok := bag[MetricRecoveryHitRate]
+	if !ok {
+		t.Fatalf("%s missing from stats dump", MetricRecoveryHitRate)
+	}
+	want := float64(v.PrefetchHits) / float64(v.PrefetchedBlocks)
+	if rate <= 0 || rate > 1 || math.Abs(rate-want) > 1e-12 {
+		t.Fatalf("recovery_hit_rate = %v, want %v", rate, want)
+	}
+}
+
+func TestFIFOSpillCoverage(t *testing.T) {
+	g := randGraph(7, 600, 4800)
+	res := runOn(t, spillConfig(SpillFIFO), g, program.NewSSSP(g.LargestOutDegreeVertex()))
+	v := res.VMU
+	if v.Spills == 0 {
+		t.Fatal("no spills: buffer never overflowed, spill path untested")
+	}
+	if v.SpillWrites != v.Spills {
+		t.Fatalf("FIFO policy: %d spill writes for %d spills, want 1:1 (Table I)", v.SpillWrites, v.Spills)
+	}
+	if v.DirectPushes == 0 {
+		t.Fatal("no direct pushes: buffer was never usable")
+	}
+	if v.FIFOMaxDepth == 0 {
+		t.Fatal("FIFO high-water mark is zero despite spills")
+	}
+	if v.MetadataBytes == 0 {
+		t.Fatal("FIFO policy recorded no off-chip metadata")
+	}
+	if v.BatchHits.N() != 0 {
+		t.Fatalf("FIFO policy sampled %d recovery batches, want 0 (tracker is overwrite-only)", v.BatchHits.N())
+	}
+}
+
+func TestSpillCoverageAcrossPrograms(t *testing.T) {
+	// Every workload the spill-stress tier runs — including the delta
+	// PageRank used as the large-tier stress program — must drive the
+	// recovery path under a tiny buffer, not just SSSP.
+	g := randGraph(13, 500, 4000)
+	programs := []program.Program{
+		program.NewBFS(g.LargestOutDegreeVertex()),
+		program.NewPRDelta(0.85, 1e-7),
+	}
+	for _, p := range programs {
+		res := runOn(t, spillConfig(SpillOverwrite), g, p)
+		if res.VMU.Spills == 0 || res.VMU.PrefetchHits == 0 {
+			t.Errorf("%s: spills=%d hits=%d — spill/recovery not exercised",
+				p.Name(), res.VMU.Spills, res.VMU.PrefetchHits)
+		}
+	}
+}

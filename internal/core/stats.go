@@ -24,6 +24,9 @@ const (
 	MetricDirectPushes       = "direct_pushes"
 	MetricSpillWrites        = "spill_writes"
 	MetricStaleRetrievals    = "stale_retrievals"
+	MetricPrefetchedBlocks   = "prefetched_blocks"
+	MetricPrefetchHits       = "prefetch_hits"
+	MetricRecoveryHitRate    = "recovery_hit_rate"
 	MetricMetadataBytes      = "metadata_bytes"
 	MetricNetworkBytes       = "network_bytes"
 	MetricNetworkInterBytes  = "network_inter_bytes"
@@ -74,6 +77,16 @@ func (s *System) buildStatsTree() {
 		MetricSpillWrites, stats.Count, "extra off-chip writes caused by spilling (Table I)")
 	root.Formula(res(func(r *Result) float64 { return float64(r.VMU.StaleRetrievals) }),
 		MetricStaleRetrievals, stats.Count, "FIFO entries already propagated when popped (Table I)")
+	root.Formula(res(func(r *Result) float64 { return float64(r.VMU.PrefetchedBlocks) }),
+		MetricPrefetchedBlocks, stats.Count, "vertex blocks read back during active-vertex recovery")
+	root.Formula(res(func(r *Result) float64 { return float64(r.VMU.PrefetchHits) }),
+		MetricPrefetchHits, stats.Count, "recovered blocks that held active vertices")
+	root.Formula(res(func(r *Result) float64 {
+		if r.VMU.PrefetchedBlocks == 0 {
+			return 0
+		}
+		return float64(r.VMU.PrefetchHits) / float64(r.VMU.PrefetchedBlocks)
+	}), MetricRecoveryHitRate, stats.Ratio, "fraction of recovery reads that held active vertices (tracker precision)")
 	root.Formula(res(func(r *Result) float64 { return float64(r.VMU.MetadataBytes) }),
 		MetricMetadataBytes, stats.Bytes, "explicit off-chip metadata the spill policy needs (Table I)")
 	root.Formula(res(func(r *Result) float64 { return float64(r.Net.Bytes) }),
@@ -109,6 +122,7 @@ func (s *System) buildStatsTree() {
 		vg.Uint64(&u.stats.PrefetchedBlocks, "prefetched_blocks", stats.Count, "vertex blocks read back during active-vertex recovery")
 		vg.Uint64(&u.stats.PrefetchHits, "prefetch_hits", stats.Count, "recovered blocks that held active vertices")
 		vg.Uint64(&u.stats.StaleRetrievals, "stale_retrievals", stats.Count, "FIFO entries already propagated when popped")
+		vg.Distribution(&u.stats.BatchHits, "batch_hits", stats.Count, "active blocks recovered per completed prefetch batch (tracker precision)")
 		vg.Int(&u.stats.FIFOMaxDepth, "fifo_max_depth", stats.Entries, "high-water mark of the off-chip FIFO")
 		vg.Uint64(&u.stats.MetadataBytes, "metadata_bytes", stats.Bytes, "explicit off-chip metadata written by the spill policy")
 		vg.Histogram(&u.occupancy, "buffer_occupancy", stats.Entries, "active-buffer fill level at each push (linear buckets of 4)")

@@ -40,6 +40,9 @@ type VMU struct {
 	bufferHead int
 
 	inflightPrefetch int
+	// batchHits counts recovered-active blocks within the current prefetch
+	// batch; observed into stats.BatchHits when the batch completes.
+	batchHits uint64
 
 	// Off-chip FIFO (SpillFIFO policy): functional queue of vertex IDs.
 	fifo     []graph.VertexID
@@ -72,12 +75,15 @@ func (t *prefetchTask) Fire() {
 	if u.tracked.get(bi) {
 		u.untrack(bi)
 		u.stats.PrefetchHits++
+		u.batchHits++
 		u.pushBuffer(addr)
 	}
 	// Re-pump on every batch completion: even an all-miss batch
 	// must immediately trigger the next superblock scan, or the
 	// recovery pipeline stalls.
 	if u.inflightPrefetch == 0 {
+		u.stats.BatchHits.Sample(float64(u.batchHits))
+		u.batchHits = 0
 		u.pe.pumpMGU()
 	}
 }
@@ -140,6 +146,12 @@ type VMUStats struct {
 	// StaleRetrievals counts FIFO entries that were already propagated
 	// when popped (duplicate work the overwrite policy avoids).
 	StaleRetrievals uint64
+	// BatchHits samples, per completed prefetch batch, how many of its
+	// blocks actually held active vertices — the recovery-precision
+	// distribution of the superblock tracker (overwrite policy only;
+	// PrefetchHits / PrefetchedBlocks gives the same ratio in aggregate,
+	// this shows its spread).
+	BatchHits stats.Distribution
 	// FIFOMaxDepth is the high-water mark of the off-chip FIFO.
 	FIFOMaxDepth int
 	// MetadataBytes is the explicit per-entry metadata the policy needs

@@ -11,6 +11,10 @@ import (
 // Scale shrinks the dataset registry so experiments fit any time budget:
 // Full is the DESIGN.md registry (slice counts match the paper's
 // Table III exactly), Medium divides vertex counts by 4, Small by 16.
+// Large is the spill-stress tier: divisor-2 graphs built through the
+// constant-memory streaming generators, paired with a NOVA configuration
+// whose active buffers are an order of magnitude under the active-set
+// sizes, so the VMU spill/recovery and superblock-tracker paths dominate.
 type Scale int
 
 const (
@@ -20,6 +24,9 @@ const (
 	Medium
 	// Full is the complete scaled registry (tens of minutes).
 	Full
+	// Large is the spill-stress tier (streaming-built graphs, shrunken
+	// active buffers).
+	Large
 )
 
 // ParseScale maps flag values to scales.
@@ -31,8 +38,10 @@ func ParseScale(s string) (Scale, error) {
 		return Medium, nil
 	case "full":
 		return Full, nil
+	case "large":
+		return Large, nil
 	default:
-		return Small, fmt.Errorf("exp: unknown scale %q (small|medium|full)", s)
+		return Small, fmt.Errorf("exp: unknown scale %q (small|medium|full|large)", s)
 	}
 }
 
@@ -42,6 +51,8 @@ func (s Scale) String() string {
 		return "small"
 	case Medium:
 		return "medium"
+	case Large:
+		return "large"
 	default:
 		return "full"
 	}
@@ -54,6 +65,8 @@ func (s Scale) divisor() int {
 		return 16
 	case Medium:
 		return 4
+	case Large:
+		return 2
 	default:
 		return 1
 	}
@@ -72,9 +85,20 @@ func (s Scale) CacheBytesPerPE() int {
 		return 512
 	case Medium:
 		return 1 << 10
-	default:
+	default: // Full and Large share the cache sizing.
 		return 2 << 10
 	}
+}
+
+// ActiveBufferEntries returns the per-PE VMU active-buffer size for the
+// tier: the Table II default except on the Large tier, where the buffer
+// shrinks far below the active-set sizes so every workload overflows it
+// and the spill/recovery machinery carries the run.
+func (s Scale) ActiveBufferEntries() int {
+	if s == Large {
+		return 16
+	}
+	return 80
 }
 
 // Dataset is one Table III stand-in.
@@ -113,6 +137,12 @@ var (
 // Datasets returns the five Table III stand-ins at the given scale:
 // road (high-diameter grid), twitter/friendster/host (RMAT power-law with
 // the paper's average degrees) and urand (uniform random).
+//
+// The Large tier builds its registry through the streaming generators
+// (graph.FromStream) — the constant-memory path large graphs are expected
+// to take — so the registry doubles as a continuous exercise of that
+// machinery. Its slice counts follow the calibration equation rather than
+// Table III (road rounds down to 2 at divisor 2).
 func Datasets(s Scale) []*Dataset {
 	dsMu.Lock()
 	defer dsMu.Unlock()
@@ -124,17 +154,33 @@ func Datasets(s Scale) []*Dataset {
 	for sq*sq < d {
 		sq *= 2
 	}
-	build := []*Dataset{
-		{Name: "road", PaperSlices: 3,
-			Graph: graph.GenGrid("road", 340/sq, 272/sq, 0.39, 64, 11)},
-		{Name: "twitter", PaperSlices: 5,
-			Graph: graph.GenRMATN("twitter", 160000/d, 35, graph.DefaultRMAT, 64, 12)},
-		{Name: "friendster", PaperSlices: 8,
-			Graph: graph.GenRMATN("friendster", 252000/d, 27, graph.DefaultRMAT, 64, 13)},
-		{Name: "host", PaperSlices: 13,
-			Graph: graph.GenRMATN("host", 388000/d, 20, graph.DefaultRMAT, 64, 14)},
-		{Name: "urand", PaperSlices: 16,
-			Graph: graph.GenUniform("urand", 516000/d, 31, 64, 15)},
+	var build []*Dataset
+	if s == Large {
+		build = []*Dataset{
+			{Name: "road", PaperSlices: 2,
+				Graph: graph.FromStream(graph.NewGridStream("road", 340/sq, 272/sq, 0.39, 64, 11))},
+			{Name: "twitter", PaperSlices: 5,
+				Graph: graph.FromStream(graph.NewRMATStream("twitter", 160000/d, 35, graph.DefaultRMAT, 64, 12))},
+			{Name: "friendster", PaperSlices: 8,
+				Graph: graph.FromStream(graph.NewRMATStream("friendster", 252000/d, 27, graph.DefaultRMAT, 64, 13))},
+			{Name: "host", PaperSlices: 13,
+				Graph: graph.FromStream(graph.NewRMATStream("host", 388000/d, 20, graph.DefaultRMAT, 64, 14))},
+			{Name: "urand", PaperSlices: 16,
+				Graph: graph.FromStream(graph.NewUniformStream("urand", 516000/d, 31, 64, 15))},
+		}
+	} else {
+		build = []*Dataset{
+			{Name: "road", PaperSlices: 3,
+				Graph: graph.GenGrid("road", 340/sq, 272/sq, 0.39, 64, 11)},
+			{Name: "twitter", PaperSlices: 5,
+				Graph: graph.GenRMATN("twitter", 160000/d, 35, graph.DefaultRMAT, 64, 12)},
+			{Name: "friendster", PaperSlices: 8,
+				Graph: graph.GenRMATN("friendster", 252000/d, 27, graph.DefaultRMAT, 64, 13)},
+			{Name: "host", PaperSlices: 13,
+				Graph: graph.GenRMATN("host", 388000/d, 20, graph.DefaultRMAT, 64, 14)},
+			{Name: "urand", PaperSlices: 16,
+				Graph: graph.GenUniform("urand", 516000/d, 31, 64, 15)},
+		}
 	}
 	for _, ds := range build {
 		ds.Root = ds.Graph.LargestOutDegreeVertex()
@@ -172,6 +218,8 @@ func WeakScalingGraph(s Scale, gpns int) *graph.CSR {
 		base = 10
 	case Medium:
 		base = 12
+	case Large:
+		base = 13
 	}
 	sc := base
 	for g := 1; g < gpns; g *= 2 {
@@ -181,11 +229,14 @@ func WeakScalingGraph(s Scale, gpns int) *graph.CSR {
 }
 
 // NOVAConfig returns the scaled NOVA system for the experiments: Table II
-// organization with the cache shrunk in proportion to the scaled graphs.
+// organization with the cache shrunk in proportion to the scaled graphs,
+// and — on the Large tier — the active buffers shrunk far below the
+// active-set sizes so spill/recovery dominates.
 func NOVAConfig(s Scale, gpns int) nova.Config {
 	cfg := nova.DefaultConfig()
 	cfg.GPNs = gpns
 	cfg.CacheBytesPerPE = s.CacheBytesPerPE()
+	cfg.ActiveBufferEntries = s.ActiveBufferEntries()
 	return cfg
 }
 

@@ -11,7 +11,7 @@ import (
 )
 
 func TestParseScale(t *testing.T) {
-	for _, s := range []string{"small", "medium", "full"} {
+	for _, s := range []string{"small", "medium", "full", "large"} {
 		sc, err := ParseScale(s)
 		if err != nil {
 			t.Fatal(err)
@@ -81,6 +81,30 @@ func TestDatasetDegreesFollowPaper(t *testing.T) {
 		if got < 0.8*w || got > 1.2*w {
 			t.Errorf("%s: avg degree %.2f, want ≈ %.2f", d.Name, got, w)
 		}
+	}
+}
+
+func TestLargeTierConfig(t *testing.T) {
+	// The large tier must shrink the active buffers far below the Table II
+	// default so spill/recovery dominates; the other tiers must not.
+	if got := Large.ActiveBufferEntries(); got >= Full.ActiveBufferEntries() {
+		t.Fatalf("large-tier buffer %d not smaller than full-tier %d",
+			got, Full.ActiveBufferEntries())
+	}
+	cfg := NOVAConfig(Large, 1)
+	if cfg.ActiveBufferEntries != Large.ActiveBufferEntries() {
+		t.Fatalf("NOVAConfig(Large) buffer = %d, want %d",
+			cfg.ActiveBufferEntries, Large.ActiveBufferEntries())
+	}
+	for _, s := range []Scale{Small, Medium, Full} {
+		if NOVAConfig(s, 1).ActiveBufferEntries != 80 {
+			t.Fatalf("scale %s: buffer = %d, want Table II default 80",
+				s, NOVAConfig(s, 1).ActiveBufferEntries)
+		}
+	}
+	if Large.divisor() >= Medium.divisor() || Large.divisor() < Full.divisor() {
+		t.Fatalf("large divisor %d not between full (%d) and medium (%d)",
+			Large.divisor(), Full.divisor(), Medium.divisor())
 	}
 }
 

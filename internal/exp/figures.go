@@ -82,7 +82,7 @@ func Fig2(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("fig2/slices=%d", slices),
 			Run: func(context.Context) ([]string, error) {
-				rep, err := PGEngineSlices(s, slices).RunWorkload(cell(d, "bfs", 0))
+				rep, err := PGEngineSlices(s, slices).RunWorkload(cell(s, d, "bfs", 0))
 				if err != nil {
 					return nil, err
 				}
@@ -116,7 +116,7 @@ func Fig4(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 			jobs = append(jobs, rowJob{
 				Name: fmt.Sprintf("fig4/%s/%s", d.Name, w),
 				Run: func(context.Context) ([]string, error) {
-					wl := cell(d, w, 10)
+					wl := cell(s, d, w, 10)
 					novaRep, pgRep, err := novaPG(s, wl)
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s: %w", d.Name, w, err)
@@ -159,7 +159,7 @@ func Fig5(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("fig5/%s", d.Name),
 			Run: func(context.Context) ([]string, error) {
-				novaRep, pgRep, err := novaPG(s, cell(d, "bfs", 0))
+				novaRep, pgRep, err := novaPG(s, cell(s, d, "bfs", 0))
 				if err != nil {
 					return nil, err
 				}
@@ -204,7 +204,7 @@ func Fig6(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 			jobs = append(jobs, rowJob{
 				Name: fmt.Sprintf("fig6/%s/%s", d.Name, w),
 				Run: func(context.Context) ([]string, error) {
-					novaRep, pgRep, err := novaPG(s, cell(d, w, 10))
+					novaRep, pgRep, err := novaPG(s, cell(s, d, w, 10))
 					if err != nil {
 						return nil, err
 					}
@@ -259,7 +259,7 @@ func Fig7(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(d, w, 0))
+						return eng.RunWorkload(cell(s, d, w, 0))
 					},
 				})
 			}
@@ -354,7 +354,7 @@ func Fig9a(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(d, w, 10))
+						return eng.RunWorkload(cell(s, d, w, 10))
 					},
 				})
 			}
@@ -410,7 +410,7 @@ func Fig9b(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(d, w, 10))
+						return eng.RunWorkload(cell(s, d, w, 10))
 					},
 				})
 			}
@@ -463,7 +463,7 @@ func Fig9c(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						rep, err := eng.RunWorkload(cell(d, w, 10))
+						rep, err := eng.RunWorkload(cell(s, d, w, 10))
 						if err != nil {
 							return nil, err
 						}
@@ -509,7 +509,7 @@ func Fig10(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						rep, err := eng.RunWorkload(cell(d, w, 10))
+						rep, err := eng.RunWorkload(cell(s, d, w, 10))
 						if err != nil {
 							return nil, err
 						}

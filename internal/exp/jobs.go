@@ -47,10 +47,11 @@ func PGEngineSlices(s Scale, slices int) harness.Engine {
 func LigraEngine() harness.Engine { return (&nova.Software{}).Engine() }
 
 // cell builds the harness.Workload for one (dataset, workload) grid cell,
-// picking the right graph orientation.
-func cell(d *Dataset, w string, prIters int) harness.Workload {
+// picking the right graph orientation and stamping the scale tier so
+// reports from different tiers are never compared against each other.
+func cell(s Scale, d *Dataset, w string, prIters int) harness.Workload {
 	g, gT := workloadGraph(d, w)
-	return harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters}
+	return harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters, Tier: s.String()}
 }
 
 // novaPG runs one cell on a fresh scaled NOVA engine and on the PolyGraph

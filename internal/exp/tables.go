@@ -36,7 +36,7 @@ func Tab1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				rep, err := eng.RunWorkload(cell(d, "sssp", 0))
+				rep, err := eng.RunWorkload(cell(s, d, "sssp", 0))
 				if err != nil {
 					return nil, err
 				}

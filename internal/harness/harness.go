@@ -29,6 +29,11 @@ type Workload struct {
 	Root graph.VertexID
 	// PRIters configures PageRank (≤0 means 10).
 	PRIters int
+	// Tier labels the scale tier the cell belongs to ("small", "medium",
+	// "full", "large"; empty when the caller doesn't run tiered sweeps).
+	// It is carried verbatim into the Report so artifacts from different
+	// tiers never get compared against each other.
+	Tier string
 }
 
 // Engine is the unified view of an execution backend. Implementations
@@ -54,6 +59,8 @@ type Report struct {
 	Fingerprint string
 	// Workload is the cell's workload name.
 	Workload string
+	// Tier echoes Workload.Tier — the scale tier the cell ran at.
+	Tier string
 	// Stats is the engine-agnostic summary common to all backends.
 	Stats program.RunStats
 	// SequentialEdges is the work-efficiency denominator (Beamer's

@@ -207,6 +207,11 @@ func SequentialEdges(g *graph.CSR, root graph.VertexID, name string, prIters int
 		return g.NumEdges()
 	case "pr":
 		return g.NumEdges() * int64(prIters)
+	case "prdelta":
+		// Delta PageRank's work depends on the convergence trajectory; a
+		// sequential implementation must stream every edge at least once,
+		// so one full pass anchors the efficiency metric conservatively.
+		return g.NumEdges()
 	case "bc", "bc-forward", "bc-backward":
 		dist := BFS(g, root)
 		var edges int64

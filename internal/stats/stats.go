@@ -109,6 +109,24 @@ func (d *Distribution) Sample(v float64) {
 	d.sumSq += v * v
 }
 
+// Merge folds another distribution into d, as if every sample recorded
+// on o had been recorded on d. Used when aggregating per-component
+// distributions (e.g. per-PE recovery hits) into a machine-wide one.
+func (d *Distribution) Merge(o Distribution) {
+	if o.n == 0 {
+		return
+	}
+	if d.n == 0 || o.minVal < d.minVal {
+		d.minVal = o.minVal
+	}
+	if d.n == 0 || o.maxVal > d.maxVal {
+		d.maxVal = o.maxVal
+	}
+	d.n += o.n
+	d.sum += o.sum
+	d.sumSq += o.sumSq
+}
+
 // N returns the sample count.
 func (d *Distribution) N() uint64 { return d.n }
 

@@ -23,6 +23,9 @@ const (
 	MetricCacheHitRate       = core.MetricCacheHitRate
 	MetricOnChipBytes        = core.MetricOnChipBytes
 	MetricSpills             = core.MetricSpills
+	MetricPrefetchedBlocks   = core.MetricPrefetchedBlocks
+	MetricPrefetchHits       = core.MetricPrefetchHits
+	MetricRecoveryHitRate    = core.MetricRecoveryHitRate
 	MetricDirectPushes       = core.MetricDirectPushes
 	MetricSpillWrites        = core.MetricSpillWrites
 	MetricStaleRetrievals    = core.MetricStaleRetrievals

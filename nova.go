@@ -324,6 +324,7 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 		Engine:          e.Name(),
 		Fingerprint:     e.Fingerprint(),
 		Workload:        w.Name,
+		Tier:            w.Tier,
 		SequentialEdges: ref.SequentialEdges(w.G, w.Root, w.Name, prIters),
 	}
 	if w.Name == "bc" {
