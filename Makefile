@@ -17,8 +17,19 @@ BENCH_SIM_OUT ?= BENCH_sim.json
 BENCH_CHECK_OUT       ?= /tmp/BENCH_sim.fresh.json
 BENCH_CHECK_THRESHOLD ?= 50
 
-.PHONY: all build vet test race bench bench-sim bench-check golden \
-	fmt-check stats-md staticcheck spill-stress
+BENCH_SHARD_OUT    ?= BENCH_shard.json
+BENCH_SHARD_COUNTS ?= 1,2,4
+# bench-shard gates the 1-shard cluster fast path within 2% of a kernel
+# record measured back-to-back on the same machine (timing vs the
+# committed BENCH_sim.json would gate runner noise, not code).
+BENCH_SHARD_BASE ?= /tmp/BENCH_sim.shardbase.json
+
+# Worker-goroutine count for the spill-stress run (the nightly shard job
+# overrides this; results are bit-identical at every setting).
+SPILL_SHARDS ?= 4
+
+.PHONY: all build vet test race bench bench-sim bench-check bench-shard \
+	golden fmt-check stats-md staticcheck spill-stress
 
 all: build vet test
 
@@ -48,11 +59,24 @@ bench-check: build
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_CHECK_THRESHOLD) -warn-only \
 		-assert-zero 'benchmarks.*allocs_per_event' BENCH_sim.json $(BENCH_CHECK_OUT)
 
+# Measure the sharded cluster kernel (aggregate events/sec across shards)
+# into BENCH_shard.json, then gate: the single-engine cluster fast path
+# must stay within 2% of the raw kernel measured in the same run, and the
+# cluster benchmarks must stay allocation-free.
+bench-shard: build
+	$(GO) run ./cmd/simbench -o $(BENCH_SHARD_BASE)
+	$(GO) run ./cmd/simbench -shard-out $(BENCH_SHARD_OUT) -shards $(BENCH_SHARD_COUNTS)
+	$(GO) run ./cmd/benchdiff -threshold 2 \
+		-assert-zero 'benchmarks.*allocs_per_event' $(BENCH_SHARD_BASE) $(BENCH_SHARD_OUT)
+
 # Run the spill-stress workload (delta PageRank on the large tier, active
-# buffers shrunk far below the active set) and dump its stats.
+# buffers shrunk far below the active set) at 4 GPNs and dump its stats;
+# SPILL_SHARDS sets the worker-goroutine count (wall-clock lands in the
+# dump's metadata, so the nightly artifact carries the scaling signal).
 spill-stress: build
 	$(GO) run ./cmd/novasim -engine nova -workload prdelta -graph twitter \
-		-scale large -stats-out spill_stress_stats.json
+		-scale large -gpns 4 -shards $(SPILL_SHARDS) \
+		-stats-out spill_stress_stats.json
 
 # staticcheck is optional locally (not vendored); CI installs it.
 staticcheck:

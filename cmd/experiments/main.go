@@ -37,9 +37,11 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent simulation cells per experiment")
 	benchPath := flag.String("bench", "", "also run each experiment at -jobs 1 and write the wall-clock comparison JSON here")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
+	shards := flag.Int("shards", 1, "simulation worker goroutines per NOVA cell (clamped to the cell's GPN count; results are bit-identical at every setting)")
 	profFlags := prof.RegisterFlags()
 	flag.Parse()
 	defer profFlags.Start()()
+	exp.Shards = *shards
 
 	if *list {
 		for _, id := range exp.IDs() {

@@ -43,6 +43,7 @@ func main() {
 	graphName := flag.String("graph", "twitter", "road|twitter|friendster|host|urand")
 	scaleFlag := flag.String("scale", "small", "small|medium|full|large")
 	gpns := flag.Int("gpns", 1, "number of GPNs (nova engine)")
+	shards := flag.Int("shards", 1, "simulation worker goroutines for the sharded nova kernel (clamped to -gpns; results are bit-identical at every setting)")
 	mapping := flag.String("mapping", "random", "random|interleave|load-balanced|locality")
 	spill := flag.String("spill", "overwrite", "overwrite|fifo")
 	fabric := flag.String("fabric", "hierarchical", "hierarchical|ideal")
@@ -55,6 +56,7 @@ func main() {
 	profFlags := prof.RegisterFlags()
 	flag.Parse()
 	defer profFlags.Start()()
+	exp.Shards = *shards
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	check(err)
@@ -291,10 +293,10 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 	if wall > 0 {
 		speedup = float64(busy) / float64(wall)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: %d cells in %v wall (%v busy, jobs=%d, %.2fx vs sequential)\n",
-		len(jobs), wall.Round(time.Millisecond), busy.Round(time.Millisecond), jobsN, speedup)
+	fmt.Fprintf(os.Stderr, "sweep: %d cells in %v wall (%v busy, jobs=%d, shards=%d, %.2fx vs sequential)\n",
+		len(jobs), wall.Round(time.Millisecond), busy.Round(time.Millisecond), jobsN, exp.Shards, speedup)
 	if statsOut != "" {
-		check(writeStatsDump(results, d, statsOut))
+		check(writeStatsDump(results, d, statsOut, wall))
 	}
 	if failed > 0 {
 		// A failed cell must fail the process, or CI reads a partial (even
@@ -306,7 +308,7 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 
 // writeStatsDump merges every cell's dump (prefixed engine.workload) into
 // one file, choosing the sink by extension: .csv, .txt/.text, else JSON.
-func writeStatsDump(results []harness.Result[*harness.Report], d *exp.Dataset, path string) error {
+func writeStatsDump(results []harness.Result[*harness.Report], d *exp.Dataset, path string, wall time.Duration) error {
 	var parts []*stats.Dump
 	for _, r := range results {
 		if r.Err != nil || r.Value == nil || r.Value.Dump == nil {
@@ -314,7 +316,11 @@ func writeStatsDump(results []harness.Result[*harness.Report], d *exp.Dataset, p
 		}
 		parts = append(parts, r.Value.Dump.Prefixed(r.Value.Engine+"."+r.Value.Workload))
 	}
-	merged := stats.Merge(map[string]string{"graph": d.Graph.Name}, parts...)
+	merged := stats.Merge(map[string]string{
+		"graph":        d.Graph.Name,
+		"shards":       fmt.Sprintf("%d", exp.Shards),
+		"wall_seconds": fmt.Sprintf("%.3f", wall.Seconds()),
+	}, parts...)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"testing"
 
 	"nova/internal/sim"
@@ -38,6 +40,28 @@ type metric struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 	EventsPerSec   float64 `json:"events_per_sec"`
+}
+
+// bestOf runs a benchmark n times and keeps the fastest result: single
+// runs on shared runners jitter by 10%+, which a 2% gate (make
+// bench-shard) cannot tolerate, while the minimum is stable — transient
+// noise only ever makes a run slower.
+func bestOf(n int, f func(*testing.B)) testing.BenchmarkResult {
+	var best testing.BenchmarkResult
+	for i := 0; i < n; i++ {
+		r := testing.Benchmark(f)
+		if i == 0 || perOpNs(r) < perOpNs(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+func perOpNs(r testing.BenchmarkResult) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
 func normalize(r testing.BenchmarkResult, eventsPerOp int) metric {
@@ -79,6 +103,43 @@ func seedBaseline() map[string]metric {
 		"event_throughput":    mk(56.78, 1, 32),
 		"schedule_deschedule": mk(50.08, 1, 32),
 		"fan_out":             mk(6970.0/64, 1, 32),
+	}
+}
+
+// benchCluster measures the sharded kernel: gpns engines under one
+// Cluster, each engine running tickersPer self-rescheduling tickers for
+// b.N firings each, with the crossbar-default lookahead of 120 ticks
+// bounding each window. Every iteration therefore executes gpns*tickersPer
+// events, and normalize(, gpns*tickersPer) folds that back out so
+// EventsPerSec is the aggregate throughput across all shards — not the
+// per-shard rate. tickersPer sets the in-window work per shard
+// (tickersPer * lookahead events between barriers): 1 isolates the
+// cluster wrapper against the raw kernel, clusterTickers approximates a
+// loaded GPN so the multi-worker numbers amortize the barrier the way a
+// real window does.
+func benchCluster(gpns, workers, tickersPer int) func(*testing.B) {
+	return func(b *testing.B) {
+		engines := make([]*sim.Engine, gpns)
+		for i := range engines {
+			e := sim.NewEngine()
+			engines[i] = e
+			for j := 0; j < tickersPer; j++ {
+				t := &ticker{e: e, max: b.N}
+				t.ev = sim.NewEvent(t)
+				e.ScheduleEvent(t.ev, sim.Ticks(j))
+			}
+		}
+		cl, err := sim.NewCluster(engines, 120, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		noExchange := func() (int, error) { return 0, nil }
+		b.ReportAllocs()
+		b.ResetTimer()
+		if err := cl.Run(0, noExchange); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -138,17 +199,119 @@ func benchFanOut(b *testing.B) {
 	}
 }
 
+// shardRecord is the BENCH_shard.json schema. Its benchmarks map holds
+// one "event_throughput" entry measured through the single-engine Cluster
+// fast path, so `benchdiff -threshold 2 BENCH_sim.json BENCH_shard.json`
+// pins the 1-shard cluster wrapper within 2% of the raw kernel; the
+// cluster_Nshard entries and the speedup map have no baseline in
+// BENCH_sim.json and are reported without gating.
+type shardRecord struct {
+	Kernel    string `json:"kernel"`
+	Lookahead uint64 `json:"lookahead_ticks"`
+	// Benchmarks: "event_throughput" (1 engine, 1 worker, cluster fast
+	// path), "cluster_Nshard" (N engines, N workers), and
+	// "cluster_Nshard_1worker" (N engines, sequential windows — the
+	// scaling denominator). EventsPerSec aggregates across all shards.
+	Benchmarks map[string]metric `json:"benchmarks"`
+	// Speedup: "cluster_Nshard_speedup" = N-worker aggregate events/sec
+	// over the 1-worker run of the same N-engine workload.
+	Speedup map[string]float64 `json:"speedup"`
+}
+
+// clusterTickers is the per-shard concurrent-event population for the
+// cluster_Nshard benchmarks — enough in-window work (64 events per tick,
+// 7680 per 120-tick window) to stand in for a loaded GPN.
+const clusterTickers = 64
+
+func runShardMode(out, shardList string) {
+	rec := shardRecord{
+		Kernel:     "windowed-cluster",
+		Lookahead:  120,
+		Benchmarks: map[string]metric{},
+		Speedup:    map[string]float64{},
+	}
+	counts, err := parseShards(shardList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	rec.Benchmarks["event_throughput"] = normalize(bestOf(3, benchCluster(1, 1, 1)), 1)
+	for _, n := range counts {
+		if n == 1 {
+			continue // the 1-shard case is event_throughput itself
+		}
+		seq := normalize(bestOf(3, benchCluster(n, 1, clusterTickers)), n*clusterTickers)
+		par := normalize(bestOf(3, benchCluster(n, n, clusterTickers)), n*clusterTickers)
+		rec.Benchmarks[fmt.Sprintf("cluster_%dshard_1worker", n)] = seq
+		rec.Benchmarks[fmt.Sprintf("cluster_%dshard", n)] = par
+		if seq.EventsPerSec > 0 {
+			rec.Speedup[fmt.Sprintf("cluster_%dshard_speedup", n)] = par.EventsPerSec / seq.EventsPerSec
+		}
+	}
+	writeJSON(out, rec)
+	fmt.Printf("simbench: cluster event_throughput %.2f ns/event (%.0f events/sec), %g allocs/event -> %s\n",
+		rec.Benchmarks["event_throughput"].NsPerEvent,
+		rec.Benchmarks["event_throughput"].EventsPerSec,
+		rec.Benchmarks["event_throughput"].AllocsPerEvent,
+		out)
+	for _, n := range counts {
+		if k := fmt.Sprintf("cluster_%dshard", n); n != 1 {
+			fmt.Printf("simbench: %s %.0f events/sec aggregate (%.2fx vs 1 worker)\n",
+				k, rec.Benchmarks[k].EventsPerSec, rec.Speedup[k+"_speedup"])
+		}
+	}
+}
+
+func parseShards(list string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -shards entry %q (want positive integers)", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("-shards list is empty")
+	}
+	return counts, nil
+}
+
+func writeJSON(path string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "simbench:", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output path")
+	shardOut := flag.String("shard-out", "", "write the sharded-cluster record here instead of the kernel record (make bench-shard)")
+	shardList := flag.String("shards", "1,2,4", "comma-separated shard counts for -shard-out mode")
 	flag.Parse()
+
+	if *shardOut != "" {
+		runShardMode(*shardOut, *shardList)
+		return
+	}
 
 	rec := record{
 		Kernel: "intrusive-4ary-pooled",
 		Benchmarks: map[string]metric{
-			"event_throughput":      normalize(testing.Benchmark(benchThroughput), 1),
-			"event_throughput_func": normalize(testing.Benchmark(benchThroughputFunc), 1),
-			"schedule_deschedule":   normalize(testing.Benchmark(benchScheduleDeschedule), 1),
-			"fan_out":               normalize(testing.Benchmark(benchFanOut), 64),
+			"event_throughput":      normalize(bestOf(3, benchThroughput), 1),
+			"event_throughput_func": normalize(bestOf(3, benchThroughputFunc), 1),
+			"schedule_deschedule":   normalize(bestOf(3, benchScheduleDeschedule), 1),
+			"fan_out":               normalize(bestOf(3, benchFanOut), 64),
 		},
 		SeedBaseline: seedBaseline(),
 	}
@@ -156,16 +319,7 @@ func main() {
 		rec.ThroughputSpeedupVsSeed = rec.Benchmarks["event_throughput"].EventsPerSec / seed
 	}
 
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "simbench:", err)
-		os.Exit(1)
-	}
+	writeJSON(*out, rec)
 	fmt.Printf("simbench: event_throughput %.2f ns/event (%.0f events/sec, %.2gx seed), %g allocs/event -> %s\n",
 		rec.Benchmarks["event_throughput"].NsPerEvent,
 		rec.Benchmarks["event_throughput"].EventsPerSec,

@@ -82,6 +82,50 @@ func TestKernelDeterminismGolden(t *testing.T) {
 	})
 }
 
+// TestShardedDeterminismGolden runs the same 4-GPN SSSP cell at every
+// worker count and pins the result to golden constants: the -shards knob
+// only changes which goroutine executes a window, so cycles, traversed
+// edges, and coalesced messages must be bit-identical at 1, 2, and 4
+// workers — and at every future run. Props are verified against the
+// sequential oracle at each count.
+func TestShardedDeterminismGolden(t *testing.T) {
+	g := graph.GenRMATN("golden", 2048, 8, graph.DefaultRMAT, 64, 7)
+	root := g.LargestOutDegreeVertex()
+	for _, shards := range []int{1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.GPNs = 4
+		cfg.PEsPerGPN = 2
+		cfg.CacheBytesPerPE = 8 << 10
+		cfg.Seed = 3
+		cfg.Shards = shards
+		acc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := acc.Run(program.NewSSSP(root), g)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		t.Logf("shards=%d: cycles=%d edges=%d coalesced=%d windows=%d",
+			shards, rep.Cycles, rep.Stats.EdgesTraversed, rep.Stats.MessagesCoalesced, rep.Windows)
+		if rep.Shards != shards {
+			t.Errorf("shards=%d: report says %d", shards, rep.Shards)
+		}
+		if rep.Cycles != goldenShardCycles {
+			t.Errorf("shards=%d: cycles = %d, golden %d", shards, rep.Cycles, goldenShardCycles)
+		}
+		if rep.Stats.EdgesTraversed != goldenShardEdges {
+			t.Errorf("shards=%d: edges = %d, golden %d", shards, rep.Stats.EdgesTraversed, goldenShardEdges)
+		}
+		if rep.Stats.MessagesCoalesced != goldenShardCoalesced {
+			t.Errorf("shards=%d: coalesced = %d, golden %d", shards, rep.Stats.MessagesCoalesced, goldenShardCoalesced)
+		}
+		if err := Verify("sssp", g, root, rep.Props); err != nil {
+			t.Errorf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
 // Golden values recorded with the seed kernel (container/heap, closure
 // callbacks) — see TestKernelDeterminismGolden.
 const (
@@ -93,4 +137,13 @@ const (
 	goldenLigraEdges    = int64(4124)
 	goldenLigraIters    = 5
 	goldenLigraReached  = int64(1330)
+)
+
+// Golden values for the 4-GPN sharded cell of TestShardedDeterminismGolden,
+// recorded at -shards 1 when the windowed cluster landed; every worker
+// count must reproduce them exactly.
+const (
+	goldenShardCycles    = uint64(17894)
+	goldenShardEdges     = int64(27274)
+	goldenShardCoalesced = int64(10799)
 )

@@ -101,6 +101,10 @@ type Config struct {
 	Spill SpillPolicy
 	// MaxEvents aborts runaway simulations (0 = default budget).
 	MaxEvents uint64
+	// Shards is the number of worker goroutines executing the per-GPN
+	// engine shards (0 means 1, i.e. fully sequential). Clamped to GPNs;
+	// results are bit-identical at every setting.
+	Shards int
 }
 
 // DefaultConfig returns the Table II system: 8 PEs at 2 GHz per GPN, one
@@ -157,6 +161,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: MessageBytes/EdgeBytes must be positive")
 	case c.EdgeChannelsPerGPN <= 0:
 		return fmt.Errorf("core: EdgeChannelsPerGPN = %d", c.EdgeChannelsPerGPN)
+	case c.Shards < 0:
+		return fmt.Errorf("core: Shards = %d", c.Shards)
 	}
 	if err := c.VertexChannel.Validate(); err != nil {
 		return err

@@ -213,8 +213,8 @@ func TestTrackerInvariants(t *testing.T) {
 	if _, err := sys.Run(program.NewBFS(g.LargestOutDegreeVertex())); err != nil {
 		t.Fatal(err)
 	}
-	if sys.activeCount != 0 {
-		t.Fatalf("activeCount = %d after completion", sys.activeCount)
+	if n := sys.totalActive(); n != 0 {
+		t.Fatalf("activeCount = %d after completion", n)
 	}
 	for _, pe := range sys.pes {
 		u := pe.vmu
@@ -243,7 +243,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res, int64(sys.eng.Executed())
+		return res, int64(sys.executed())
 	}
 	a, ea := run()
 	b, eb := run()

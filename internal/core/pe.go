@@ -15,6 +15,11 @@ import (
 // DDR4 channels.
 type PE struct {
 	sys *System
+	// sh is the owning shard; eng its event loop. All of this PE's
+	// scheduling goes through eng, so the PE runs entirely on its
+	// shard's goroutine.
+	sh  *shardState
+	eng *sim.Engine
 	id  int // global PE index
 	gpn int
 
@@ -45,6 +50,11 @@ type PE struct {
 	fifoTick    uint64
 	// edgesOut counts propagations this PE generated (load accounting).
 	edgesOut int64
+	// Shard-local slices of the machine-wide work counters: written only
+	// by this PE's shard, summed into the System totals at collect time.
+	edgesTraversed int64
+	messagesSent   int64
+	coalesced      int64
 	// inboxDepth samples the MPU backlog at each delivery; batchVerts and
 	// batchEdges profile propagation batches. Plain array/field updates.
 	inboxDepth stats.Histogram
@@ -87,7 +97,7 @@ func (pe *PE) scheduleReduce(msg program.Message) {
 		pe.freeReduce = t.next
 	}
 	t.msg = msg
-	pe.sys.eng.ScheduleAt(pe.nextReduceSlot(), t)
+	pe.eng.ScheduleAt(pe.nextReduceSlot(), t)
 }
 
 // fillTask fires when a vertex block returns from HBM.
@@ -151,7 +161,7 @@ func (t *propTask) scheduleGen() {
 	if dur == 0 {
 		dur = 1
 	}
-	t.pe.sys.eng.Schedule(dur, &t.gen)
+	t.pe.eng.Schedule(dur, &t.gen)
 }
 
 func (pe *PE) newPropTask(verts []graph.VertexID, totalEdges int64) *propTask {
@@ -164,7 +174,7 @@ func (pe *PE) newPropTask(verts []graph.VertexID, totalEdges int64) *propTask {
 	}
 	t.verts = append(t.verts[:0], verts...)
 	t.totalEdges = totalEdges
-	t.launchTick = pe.sys.eng.Now()
+	t.launchTick = pe.eng.Now()
 	t.pending = 0
 	t.started = false
 	return t
@@ -187,6 +197,16 @@ type deliverTask struct {
 
 func (t *deliverTask) Fire() {
 	t.target.deliver(t.msgs)
+	if t.owner.sh != t.target.sh {
+		// Fired on the destination's shard: the owner's free list is
+		// not ours to touch from this goroutine. Park the task on the
+		// destination shard's spent list; the window barrier returns it
+		// to the owner's pool.
+		sh := t.target.sh
+		t.target = nil
+		sh.spentDeliver = append(sh.spentDeliver, t)
+		return
+	}
 	t.target = nil
 	o := t.owner
 	t.next = o.freeDeliver
@@ -276,7 +296,7 @@ func (pe *PE) deliver(msgs []program.Message) {
 
 // nextReduceSlot allocates the next cycle with a free reduce FU.
 func (pe *PE) nextReduceSlot() sim.Ticks {
-	now := pe.sys.eng.Now() + 1
+	now := pe.eng.Now() + 1
 	if pe.redSlot < now {
 		pe.redSlot = now
 		pe.redUsed = 0
@@ -365,9 +385,9 @@ func (pe *PE) finishReduce(msg program.Message) {
 		if !sys.touched[v] {
 			sys.touched[v] = true
 			sys.accum[v] = sys.bsp.AccumInit()
-			sys.touchedList = append(sys.touchedList, v)
+			pe.sh.touchedList = append(pe.sh.touchedList, v)
 		} else {
-			sys.coalesced++
+			pe.coalesced++
 		}
 		sys.accum[v] = sys.prog.Reduce(v, sys.accum[v], msg.Delta)
 		pe.markDirty(addr)
@@ -382,7 +402,7 @@ func (pe *PE) finishReduce(msg program.Message) {
 				// popped as a stale retrieval.
 				pe.vmu.onActivate(v)
 			} else {
-				sys.coalesced++
+				pe.coalesced++
 			}
 		}
 		if changed {
@@ -540,8 +560,8 @@ func (pe *PE) generateMessages(t *propTask) {
 			if !ok {
 				continue
 			}
-			sys.edgesTraversed++
-			sys.messagesSent++
+			pe.edgesTraversed++
+			pe.messagesSent++
 			pe.edgesOut++
 			dst := pe.edgeDst[i]
 			owner := sys.part.Owner[dst]
@@ -556,12 +576,12 @@ func (pe *PE) generateMessages(t *propTask) {
 		dt := pe.newDeliverTask(sys.pes[owner], batch)
 		pe.sendBuckets[owner] = batch[:0]
 		if owner == pe.id {
-			sys.eng.Schedule(1, dt)
+			pe.eng.Schedule(1, dt)
 		} else {
 			sys.fabric.Send(pe.id, owner, len(batch)*cfg.MessageBytes, dt)
 		}
 	}
-	sys.tracer.Span("mgu", "propagate", pe.id, t.launchTick, sys.eng.Now())
+	sys.tracer.Span("mgu", "propagate", pe.id, t.launchTick, pe.eng.Now())
 	pe.mguInflight--
 	pe.releasePropTask(t)
 	pe.pumpMGU()

@@ -50,6 +50,15 @@ type Result struct {
 	// active buffers).
 	OnChipBytes int64
 
+	// Shards is the worker-goroutine count the run executed with;
+	// Windows counts conservative time windows (0 for a single-engine
+	// run), and the wall-clock split attributes host time to in-window
+	// execution vs. barrier synchronization.
+	Shards             int
+	Windows            uint64
+	WindowWallSeconds  float64
+	BarrierWallSeconds float64
+
 	// PEEdges counts propagations per PE — the load-balance signal the
 	// spatial-mapping comparison of Fig. 9b turns on.
 	PEEdges []int64
@@ -76,8 +85,16 @@ func (r *Result) LoadImbalance() float64 {
 
 func (s *System) collectResult() *Result {
 	cfg := &s.cfg
-	ticks := s.eng.Now()
+	ticks := s.now()
 	secs := cfg.clock().Seconds(ticks)
+	// Fold the per-PE shard-local counters into the System totals the
+	// stats tree registered (this runs before the dump).
+	s.edgesTraversed, s.messagesSent, s.coalesced = 0, 0, 0
+	for _, pe := range s.pes {
+		s.edgesTraversed += pe.edgesTraversed
+		s.messagesSent += pe.messagesSent
+		s.coalesced += pe.coalesced
+	}
 	r := &Result{
 		Props: s.props,
 		Ticks: ticks,
@@ -88,7 +105,11 @@ func (s *System) collectResult() *Result {
 			MessagesCoalesced: s.coalesced,
 			Epochs:            s.epochs,
 		},
-		Net: s.fabric.Stats(),
+		Net:                s.fabric.Stats(),
+		Shards:             s.workers,
+		Windows:            s.cluster.Windows(),
+		WindowWallSeconds:  s.cluster.WindowSeconds(),
+		BarrierWallSeconds: s.cluster.BarrierSeconds(),
 	}
 	var hits, accesses uint64
 	maxVertsPerPE := 0

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"nova/graph"
 	"nova/internal/mem"
@@ -16,25 +17,38 @@ import (
 // System is one assembled NOVA machine bound to a graph and a spatial
 // partition. A System runs exactly one program; build a fresh one per run
 // (construction is cheap relative to simulation).
+//
+// The machine is sharded by GPN: each GPN's PEs, VMUs, and memory
+// channels run on their own sim.Engine, coordinated by a sim.Cluster
+// under conservative time windows whose lookahead is the fabric's
+// cross-GPN latency. cfg.Shards picks how many goroutines execute the
+// shards; the decomposition itself is fixed, so results are
+// bit-identical at every shard count, and a 1-GPN system degenerates to
+// the classic single-event-loop sequential simulator.
 type System struct {
-	cfg    Config
-	eng    *sim.Engine
-	g      *graph.CSR
-	part   *graph.Partition
-	fabric network.Fabric
-	pes    []*PE
+	cfg Config
+	// engines[gpn] is the event loop of GPN gpn's shard.
+	engines []*sim.Engine
+	cluster *sim.Cluster
+	// workers is the effective worker-goroutine count (Shards clamped).
+	workers int
+	g       *graph.CSR
+	part    *graph.Partition
+	fabric  network.Fabric
+	pes     []*PE
+	shards  []shardState
 	// slot maps a global vertex to its local slot on its owner PE.
 	slot []int32
 	// edgeChans[gpn] are the DDR4 channels shared by that GPN's PEs.
 	edgeChans [][]*mem.Channel
 
-	// Functional state.
-	props       []program.Prop
-	accum       []program.Prop
-	touched     []bool
-	touchedList []graph.VertexID
-	activeFlag  []bool
-	activeCount int64
+	// Functional state. The big per-vertex slices are shared across
+	// shards but every index is written only by its owner PE's shard —
+	// disjoint-index access, no locks.
+	props      []program.Prop
+	accum      []program.Prop
+	touched    []bool
+	activeFlag []bool
 
 	prog    program.Program
 	bsp     program.BSPProgram
@@ -42,6 +56,9 @@ type System struct {
 	prep    program.PropPreparer
 	selfUpd program.SelfUpdating
 
+	// Work totals, summed from the per-PE counters in collectResult (the
+	// stats tree registers these fields, so they must be filled before
+	// the dump).
 	edgesTraversed int64
 	messagesSent   int64
 	coalesced      int64
@@ -54,32 +71,55 @@ type System struct {
 	stats  *stats.Group
 	result *Result
 
-	// tracer is optional; a nil tracer records nothing.
+	// tracer is optional; a nil tracer records nothing. Tracing requires
+	// a single worker (the trace buffer is not sharded).
 	tracer *trace.Tracer
+}
+
+// shardState is the per-GPN slice of the System's mutable coordination
+// state. Every field is written only by the owning shard's goroutine
+// during a window, or by the coordinator between windows.
+type shardState struct {
+	s   *System
+	gpn int
+	eng *sim.Engine
+	pes []*PE
+
+	// activeCount tracks this shard's active vertices (async engines).
+	activeCount int64
+	// touchedList collects vertices touched this epoch (BSP engines),
+	// in first-touch order within the shard.
+	touchedList []graph.VertexID
+	// nextActive collects the next epoch's activations for this shard's
+	// vertices (BSP; filled by the coordinator at the barrier).
+	nextActive []graph.VertexID
+	// spentDeliver parks cross-shard deliverTasks fired on this shard;
+	// the window barrier returns them to their owners' pools.
+	spentDeliver []*deliverTask
 
 	// Pre-allocated kickoff/barrier events: inject activates a batch of
-	// vertices at tick 0 of a run or epoch, noopEv advances simulated time
-	// to a barrier boundary. Reusing one event per purpose keeps the BSP
-	// epoch loop allocation-free.
+	// vertices at the start of a run or epoch, noopEv advances simulated
+	// time to a barrier boundary. Reusing one event per purpose keeps
+	// the BSP epoch loop allocation-free.
 	inject   injectTask
 	injectEv *sim.Event
 	noopEv   *sim.Event
 }
 
-// injectTask activates its vertex batch and pumps every MGU — the run and
-// epoch kickoff handler.
+// injectTask activates its vertex batch and pumps the shard's MGUs — the
+// run and epoch kickoff handler. Batches are pre-split by owner shard, so
+// every activation is shard-local.
 type injectTask struct {
-	s     *System
+	sh    *shardState
 	verts []graph.VertexID
 }
 
 func (t *injectTask) Fire() {
-	s := t.s
 	for _, v := range t.verts {
-		s.activate(v)
+		t.sh.s.activate(v)
 	}
 	t.verts = t.verts[:0]
-	for _, pe := range s.pes {
+	for _, pe := range t.sh.pes {
 		pe.pumpMGU()
 	}
 }
@@ -89,7 +129,8 @@ type noopFire struct{}
 
 func (noopFire) Fire() {}
 
-// SetTracer attaches an activity tracer. Call before Run.
+// SetTracer attaches an activity tracer. Call before Run. Tracing is only
+// supported with Shards ≤ 1.
 func (s *System) SetTracer(t *trace.Tracer) { s.tracer = t }
 
 // ErrDeadlock reports that the simulation stopped making progress while
@@ -116,21 +157,34 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 	if part.NumVertices() != g.NumVertices() {
 		return nil, fmt.Errorf("core: partition covers %d vertices, graph has %d", part.NumVertices(), g.NumVertices())
 	}
-	eng := sim.NewEngine()
+	engines := make([]*sim.Engine, cfg.GPNs)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
 	s := &System{
 		cfg:        cfg,
-		eng:        eng,
+		engines:    engines,
 		g:          g,
 		part:       part,
+		shards:     make([]shardState, cfg.GPNs),
 		slot:       make([]int32, g.NumVertices()),
 		props:      make([]program.Prop, g.NumVertices()),
 		activeFlag: make([]bool, g.NumVertices()),
 	}
+	for gpn := range s.shards {
+		sh := &s.shards[gpn]
+		sh.s = s
+		sh.gpn = gpn
+		sh.eng = engines[gpn]
+		sh.inject.sh = sh
+		sh.injectEv = sim.NewEvent(&sh.inject)
+		sh.noopEv = sim.NewEvent(noopFire{})
+	}
 	switch cfg.Fabric {
 	case FabricIdeal:
-		s.fabric = network.NewIdeal(eng, cfg.P2P.Latency)
+		s.fabric = network.NewIdeal(engines, cfg.PEsPerGPN, cfg.P2P.Latency)
 	default:
-		s.fabric = network.NewHierarchical(eng, cfg.GPNs, cfg.PEsPerGPN, cfg.P2P, cfg.Crossbar)
+		s.fabric = network.NewHierarchical(engines, cfg.PEsPerGPN, cfg.P2P, cfg.Crossbar)
 	}
 	s.edgeChans = make([][]*mem.Channel, cfg.GPNs)
 	for gpn := range s.edgeChans {
@@ -138,7 +192,7 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 		for i := range chans {
 			c := cfg.EdgeChannel
 			c.Name = fmt.Sprintf("ddr4-g%d-c%d", gpn, i)
-			chans[i] = mem.NewChannel(eng, c)
+			chans[i] = mem.NewChannel(engines[gpn], c)
 		}
 		s.edgeChans[gpn] = chans
 	}
@@ -146,18 +200,22 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 	total := cfg.TotalPEs()
 	s.pes = make([]*PE, total)
 	for id := 0; id < total; id++ {
+		gpn := id / cfg.PEsPerGPN
 		vc := cfg.VertexChannel
 		vc.Name = fmt.Sprintf("hbm2-pe%d", id)
 		pe := &PE{
 			sys:         s,
+			sh:          &s.shards[gpn],
+			eng:         engines[gpn],
 			id:          id,
-			gpn:         id / cfg.PEsPerGPN,
-			vchan:       mem.NewChannel(eng, vc),
+			gpn:         gpn,
+			vchan:       mem.NewChannel(engines[gpn], vc),
 			cache:       mem.NewCache(cfg.CacheBytesPerPE, cfg.BlockBytes),
 			pendingFill: make(map[uint64][]program.Message),
 			sendBuckets: make([][]program.Message, total),
 		}
 		s.pes[id] = pe
+		s.shards[gpn].pes = append(s.shards[gpn].pes, pe)
 	}
 	// Place vertices: slot order is ascending global ID within each PE.
 	for v := 0; v < g.NumVertices(); v++ {
@@ -191,23 +249,53 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 		vmu := pe.vmu
 		pe.cache.OnEvict = vmu.onEvict
 	}
-	s.inject.s = s
-	s.injectEv = sim.NewEvent(&s.inject)
-	s.noopEv = sim.NewEvent(noopFire{})
+	lookahead := s.fabric.Lookahead()
+	if cfg.GPNs > 1 && lookahead == 0 {
+		return nil, errors.New("core: fabric declares zero lookahead; cannot shard a multi-GPN system")
+	}
+	if lookahead == 0 {
+		lookahead = 1 // single shard: the window bound is never exercised
+	}
+	workers := cfg.Shards
+	if workers <= 0 {
+		workers = 1
+	}
+	cluster, err := sim.NewCluster(engines, lookahead, workers)
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	s.workers = cluster.Workers()
 	s.buildStatsTree()
 	return s, nil
 }
 
-// Engine exposes the simulation engine (mainly for tests).
-func (s *System) Engine() *sim.Engine { return s.eng }
+// Engine exposes the first shard's simulation engine (mainly for tests of
+// single-GPN systems).
+func (s *System) Engine() *sim.Engine { return s.engines[0] }
+
+// now returns the machine time: the maximum across shard engines.
+func (s *System) now() sim.Ticks { return s.cluster.Now() }
+
+// executed returns total events executed across shards.
+func (s *System) executed() uint64 { return s.cluster.Executed() }
+
+func (s *System) totalActive() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].activeCount
+	}
+	return n
+}
 
 func (s *System) activate(v graph.VertexID) {
 	if s.activeFlag[v] {
 		return
 	}
 	s.activeFlag[v] = true
-	s.activeCount++
-	s.pes[s.part.Owner[v]].vmu.onActivate(v)
+	pe := s.pes[s.part.Owner[v]]
+	pe.sh.activeCount++
+	pe.vmu.onActivate(v)
 }
 
 func (s *System) deactivate(v graph.VertexID) {
@@ -215,7 +303,7 @@ func (s *System) deactivate(v graph.VertexID) {
 		return
 	}
 	s.activeFlag[v] = false
-	s.activeCount--
+	s.pes[s.part.Owner[v]].sh.activeCount--
 }
 
 func (s *System) inboxesEmpty() bool {
@@ -225,6 +313,30 @@ func (s *System) inboxesEmpty() bool {
 		}
 	}
 	return true
+}
+
+// exchange is the cluster's barrier callback: deliver buffered cross-GPN
+// fabric messages, then return spent cross-shard delivery tasks to their
+// owners' pools. Runs single-threaded between windows.
+func (s *System) exchange() (int, error) {
+	n, err := s.fabric.Exchange()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j, t := range sh.spentDeliver {
+			o := t.owner
+			t.next = o.freeDeliver
+			o.freeDeliver = t
+			sh.spentDeliver[j] = nil
+		}
+		sh.spentDeliver = sh.spentDeliver[:0]
+	}
+	return n, err
+}
+
+// clusterRun advances the machine until global quiescence (all shards
+// idle and no buffered cross-GPN messages) or the event budget expires.
+func (s *System) clusterRun(budget uint64) error {
+	return s.cluster.Run(budget, s.exchange)
 }
 
 // drainCaches flushes every PE cache so active vertices parked on-chip are
@@ -244,24 +356,24 @@ func (s *System) drainCaches() {
 // whenever the machine stalls with work remaining.
 func (s *System) runToQuiescence(budget uint64) error {
 	for {
-		if err := s.eng.RunUntilQuiet(budget); err != nil {
+		if err := s.clusterRun(budget); err != nil {
 			return err
 		}
-		if s.activeCount == 0 && s.inboxesEmpty() {
+		if s.totalActive() == 0 && s.inboxesEmpty() {
 			return nil
 		}
-		before := s.eng.Executed()
+		before := s.executed()
 		s.drains++
-		s.tracer.Instant("system", "drain", -1, s.eng.Now())
-		s.tracer.Counter("active-vertices", s.eng.Now(), float64(s.activeCount))
+		s.tracer.Instant("system", "drain", -1, s.now())
+		s.tracer.Counter("active-vertices", s.now(), float64(s.totalActive()))
 		s.drainCaches()
-		if err := s.eng.RunUntilQuiet(budget); err != nil {
+		if err := s.clusterRun(budget); err != nil {
 			return err
 		}
-		if s.eng.Executed() == before && (s.activeCount > 0 || !s.inboxesEmpty()) {
+		if s.executed() == before && (s.totalActive() > 0 || !s.inboxesEmpty()) {
 			return ErrDeadlock
 		}
-		if s.activeCount == 0 && s.inboxesEmpty() {
+		if s.totalActive() == 0 && s.inboxesEmpty() {
 			return nil
 		}
 	}
@@ -274,6 +386,10 @@ func (s *System) Run(p program.Program) (*Result, error) {
 		return nil, errors.New("core: System.Run called twice; build a fresh System per run")
 	}
 	s.ran = true
+	if s.tracer != nil && s.workers > 1 {
+		return nil, errors.New("core: tracing requires Shards = 1 (the trace buffer is not sharded)")
+	}
+	defer s.cluster.Close()
 	s.prog = p
 	if bp, ok := p.(program.BSPProgram); ok && p.Mode() == program.BSP {
 		s.bsp = bp
@@ -301,19 +417,35 @@ func (s *System) Run(p program.Program) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.fabric.Finalize()
 	// Collect first: the dump's root formulas read s.result.
 	s.result = s.collectResult()
 	s.result.Dump = s.stats.Dump(map[string]string{
 		"engine":  "nova",
 		"program": p.Name(),
 		"graph":   s.g.Name,
+		"shards":  strconv.Itoa(s.workers),
 	})
 	return s.result, nil
 }
 
+// scheduleInjects splits a vertex batch by owner shard and schedules each
+// shard's inject kickoff at zero delay.
+func (s *System) scheduleInjects(verts []graph.VertexID) {
+	for _, v := range verts {
+		sh := s.pes[s.part.Owner[v]].sh
+		sh.inject.verts = append(sh.inject.verts, v)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if len(sh.inject.verts) > 0 {
+			sh.eng.ScheduleEvent(sh.injectEv, 0)
+		}
+	}
+}
+
 func (s *System) runAsync(budget uint64) error {
-	s.inject.verts = append(s.inject.verts[:0], s.prog.InitActive(s.g)...)
-	s.eng.ScheduleEvent(s.injectEv, 0)
+	s.scheduleInjects(s.prog.InitActive(s.g))
 	return s.runToQuiescence(budget)
 }
 
@@ -322,11 +454,13 @@ func (s *System) runBSP(budget uint64) error {
 	s.touched = make([]bool, s.g.NumVertices())
 
 	inSet := make([]bool, s.g.NumVertices())
-	var active []graph.VertexID
+	totalNext := 0
 	add := func(v graph.VertexID) {
 		if !inSet[v] {
 			inSet[v] = true
-			active = append(active, v)
+			sh := s.pes[s.part.Owner[v]].sh
+			sh.nextActive = append(sh.nextActive, v)
+			totalNext++
 		}
 	}
 	for _, v := range s.prog.InitActive(s.g) {
@@ -338,31 +472,45 @@ func (s *System) runBSP(budget uint64) error {
 		}
 	}
 
-	for epoch := 0; len(active) > 0; epoch++ {
+	for epoch := 0; totalNext > 0; epoch++ {
 		if m := s.bsp.MaxEpochs(); m > 0 && epoch >= m {
 			break
 		}
 		s.epochs++
 		// Inject the epoch's active set through the VMU and run the
-		// propagate→reduce pipeline to quiescence.
-		s.inject.verts = append(s.inject.verts[:0], active...)
-		for _, v := range active {
-			inSet[v] = false
+		// propagate→reduce pipeline to quiescence. The sets are already
+		// split by shard.
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if len(sh.nextActive) == 0 {
+				continue
+			}
+			sh.inject.verts = append(sh.inject.verts[:0], sh.nextActive...)
+			for _, v := range sh.nextActive {
+				inSet[v] = false
+			}
+			sh.nextActive = sh.nextActive[:0]
+			sh.eng.ScheduleEvent(sh.injectEv, 0)
 		}
-		active = active[:0]
-		s.eng.ScheduleEvent(s.injectEv, 0)
+		totalNext = 0
 		if err := s.runToQuiescence(budget); err != nil {
 			return err
 		}
-		s.tracer.Instant("bsp", "barrier", -1, s.eng.Now())
-		s.tracer.Counter("touched-vertices", s.eng.Now(), float64(len(s.touchedList)))
+		touchedTotal := 0
+		for i := range s.shards {
+			touchedTotal += len(s.shards[i].touchedList)
+		}
+		s.tracer.Instant("bsp", "barrier", -1, s.now())
+		s.tracer.Counter("touched-vertices", s.now(), float64(touchedTotal))
 		// Barrier: the apply sweep reads and rewrites every touched
 		// vertex record (bulk, sequential per PE).
 		touchedPerPE := make([]int64, len(s.pes))
-		for _, v := range s.touchedList {
-			touchedPerPE[s.part.Owner[v]]++
+		for i := range s.shards {
+			for _, v := range s.shards[i].touchedList {
+				touchedPerPE[s.part.Owner[v]]++
+			}
 		}
-		barrierEnd := s.eng.Now()
+		barrierEnd := s.now()
 		for i, pe := range s.pes {
 			bytes := touchedPerPE[i] * int64(s.cfg.VertexBytes)
 			if bytes == 0 {
@@ -376,28 +524,43 @@ func (s *System) runBSP(budget uint64) error {
 				barrierEnd = t
 			}
 		}
-		for _, v := range s.touchedList {
-			newProp, activateNext := s.bsp.Apply(v, s.props[v], s.accum[v], s.g)
-			s.props[v] = newProp
-			s.touched[v] = false
-			if activateNext {
-				add(v)
+		// Apply in shard order, first-touch order within each shard —
+		// the fixed merge order that keeps the sweep deterministic.
+		for i := range s.shards {
+			sh := &s.shards[i]
+			for _, v := range sh.touchedList {
+				newProp, activateNext := s.bsp.Apply(v, s.props[v], s.accum[v], s.g)
+				s.props[v] = newProp
+				s.touched[v] = false
+				if activateNext {
+					add(v)
+				}
 			}
+			sh.touchedList = sh.touchedList[:0]
 		}
-		s.touchedList = s.touchedList[:0]
 		if s.sched != nil {
 			for _, v := range s.sched.EpochActive(epoch+1, s.g) {
 				add(v)
 			}
 		}
-		// Advance simulated time to the end of the apply sweep.
-		s.eng.ScheduleEvent(s.noopEv, 0)
-		if err := s.eng.Run(0, budget); err != nil {
+		// Advance every shard's simulated time to the end of the apply
+		// sweep, then to the common barrier boundary.
+		for i := range s.shards {
+			s.shards[i].eng.ScheduleEvent(s.shards[i].noopEv, 0)
+		}
+		if err := s.clusterRun(budget); err != nil {
 			return err
 		}
-		if barrierEnd > s.eng.Now() {
-			s.eng.ScheduleEventAt(s.noopEv, barrierEnd)
-			if err := s.eng.Run(0, budget); err != nil {
+		scheduled := false
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if barrierEnd > sh.eng.Now() {
+				sh.eng.ScheduleEventAt(sh.noopEv, barrierEnd)
+				scheduled = true
+			}
+		}
+		if scheduled {
+			if err := s.clusterRun(budget); err != nil {
 				return err
 			}
 		}

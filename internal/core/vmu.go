@@ -301,7 +301,7 @@ func (u *VMU) maybePrefetch() {
 		if sb < 0 {
 			return
 		}
-		u.pe.sys.tracer.Instant("vmu", "prefetch-batch", u.pe.id, u.pe.sys.eng.Now())
+		u.pe.sys.tracer.Instant("vmu", "prefetch-batch", u.pe.id, u.pe.eng.Now())
 		start := u.scanOff[sb]
 		dim := int32(cfg.SuperblockDim)
 		numBlocks := int32(u.pe.numBlocks())

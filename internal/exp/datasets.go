@@ -228,6 +228,11 @@ func WeakScalingGraph(s Scale, gpns int) *graph.CSR {
 	return graph.GenRMAT(fmt.Sprintf("rmat%d", sc), sc, 16, graph.DefaultRMAT, 64, int64(20+sc))
 }
 
+// Shards is the simulation worker-goroutine count NOVAConfig stamps into
+// every generated configuration — the CLIs' -shards flag. Results are
+// bit-identical at every setting, so it is not part of any fingerprint.
+var Shards = 1
+
 // NOVAConfig returns the scaled NOVA system for the experiments: Table II
 // organization with the cache shrunk in proportion to the scaled graphs,
 // and — on the Large tier — the active buffers shrunk far below the
@@ -237,6 +242,7 @@ func NOVAConfig(s Scale, gpns int) nova.Config {
 	cfg.GPNs = gpns
 	cfg.CacheBytesPerPE = s.CacheBytesPerPE()
 	cfg.ActiveBufferEntries = s.ActiveBufferEntries()
+	cfg.Shards = Shards
 	return cfg
 }
 

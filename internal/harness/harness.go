@@ -78,6 +78,13 @@ type Report struct {
 	// Dump is the full hierarchical statistics dump, when the backend
 	// provides one (nil for two-phase workloads such as "bc").
 	Dump *stats.Dump
+	// Shards is the worker-goroutine count the backend simulated with
+	// (0 for backends without a sharded kernel), and the two wall-clock
+	// fields split host time between in-window execution and barrier
+	// synchronization for sharded runs.
+	Shards             int
+	WindowWallSeconds  float64
+	BarrierWallSeconds float64
 }
 
 // Metric returns a metrics-bag entry, or 0 when absent.

@@ -16,7 +16,7 @@ func (c *arrivalCounter) Fire() { c.n++ }
 // sends with a pooled delivery handler. It must be allocation-free.
 func BenchmarkHierarchicalSend(b *testing.B) {
 	eng := sim.NewEngine()
-	f := NewHierarchical(eng, 2, 4, DefaultP2PConfig(), DefaultCrossbarConfig())
+	f := NewHierarchical(SharedEngines(eng, 2), 4, DefaultP2PConfig(), DefaultCrossbarConfig())
 	done := &arrivalCounter{}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -40,7 +40,7 @@ func BenchmarkHierarchicalSend(b *testing.B) {
 // two crossbar port stages on top of the P2P links.
 func BenchmarkHierarchicalSendInterGPN(b *testing.B) {
 	eng := sim.NewEngine()
-	f := NewHierarchical(eng, 2, 4, DefaultP2PConfig(), DefaultCrossbarConfig())
+	f := NewHierarchical(SharedEngines(eng, 2), 4, DefaultP2PConfig(), DefaultCrossbarConfig())
 	done := &arrivalCounter{}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -7,6 +7,15 @@
 // becoming the bottleneck. These models therefore charge every message's
 // bytes against per-link (or per-port) bandwidth and add a fixed latency,
 // which is exactly the accounting the paper's Figure 9c experiment needs.
+//
+// The fabric is also the cross-shard boundary of the sharded simulator:
+// each GPN runs on its own engine, intra-GPN traffic stays on the sender's
+// engine, and inter-GPN traffic is buffered in a per-source-GPN outbox
+// until the cluster's window barrier calls Exchange. Lookahead declares
+// the minimum cross-engine latency that makes the windows sound. All
+// per-GPN counters are written only by their owning shard (or by Exchange,
+// which runs single-threaded between windows), so the hot path needs no
+// locks; Finalize folds them into the machine-wide totals at dump time.
 package network
 
 import (
@@ -21,9 +30,27 @@ type Fabric interface {
 	// Send models a transfer of bytes from src to dst and schedules
 	// deliver at arrival time. deliver is a sim.Handler so senders can
 	// reuse pre-allocated delivery objects (no per-message allocation).
+	// When src and dst live on different engines the delivery is
+	// buffered until the next Exchange. Send must be called from the
+	// goroutine running src's engine.
 	Send(src, dst int, bytes int, deliver sim.Handler)
+	// Lookahead is the minimum latency of any cross-engine message, in
+	// ticks — the conservative window bound. Zero means the fabric
+	// cannot span engines.
+	Lookahead() sim.Ticks
+	// Exchange schedules every buffered cross-engine message on its
+	// destination engine, iterating source GPNs in ascending order (the
+	// shard-merge determinism rule). It must run single-threaded with
+	// all engines stopped at a window barrier. It returns the number of
+	// messages delivered, and errors if a message would arrive in a
+	// destination's past — a lookahead violation, never reordered
+	// silently.
+	Exchange() (int, error)
 	// Stats returns accumulated traffic counters.
 	Stats() Stats
+	// Finalize folds per-GPN accumulators into the dump-time totals.
+	// Call once after the simulation, before dumping stats.
+	Finalize()
 	// RegisterStats registers the fabric's counters and derived
 	// utilizations under g.
 	RegisterStats(g *stats.Group)
@@ -35,6 +62,13 @@ type Stats struct {
 	Bytes      uint64
 	LocalBytes uint64 // bytes that stayed within one GPN
 	InterBytes uint64 // bytes that crossed the GPN-level crossbar
+}
+
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.LocalBytes += o.LocalBytes
+	s.InterBytes += o.InterBytes
 }
 
 // link tracks occupancy in fractional cycles so sub-cycle transfers (an
@@ -86,146 +120,323 @@ func DefaultCrossbarConfig() CrossbarConfig {
 	return CrossbarConfig{BytesPerCycle: 30, Latency: 120}
 }
 
+// SharedEngines returns a slice naming eng as the engine of every one of
+// gpns GPNs — the construction for a system whose GPNs all share one
+// event loop (the classic sequential simulator).
+func SharedEngines(eng *sim.Engine, gpns int) []*sim.Engine {
+	engines := make([]*sim.Engine, gpns)
+	for i := range engines {
+		engines[i] = eng
+	}
+	return engines
+}
+
+// outMsg is one buffered cross-engine message: the crossbar out-port
+// finish time on the sender side, and the delivery to complete on the
+// destination at Exchange.
+type outMsg struct {
+	t1      float64
+	dst     int32
+	bytes   int32
+	deliver sim.Handler
+}
+
+// hierGPN is the per-GPN slice of a Hierarchical fabric. Every field is
+// written only by the owning shard's goroutine, except inPort/inBusy,
+// which are written by Exchange (single-threaded, between windows) for
+// cross-engine traffic.
+type hierGPN struct {
+	eng *sim.Engine
+	// intra holds pesPerGPN×pesPerGPN links of this GPN's mesh.
+	intra           []link
+	inPort, outPort link
+	stats           Stats
+	intraBusy       float64
+	outBusy         float64
+	inBusy          float64
+	msgBytes        stats.Histogram
+	outbox          []outMsg
+}
+
 // Hierarchical is NOVA's production fabric: a fully-connected point-to-
 // point mesh among the PEs of each GPN, and a crossbar with one port per
-// GPN for everything else.
+// GPN for everything else. The crossbar is the cross-shard boundary; its
+// latency is the cluster lookahead.
 type Hierarchical struct {
-	eng       *sim.Engine
+	engines   []*sim.Engine
 	pesPerGPN int
 	p2p       P2PConfig
 	xbar      CrossbarConfig
-	// intra[g] holds pesPerGPN×pesPerGPN links for GPN g.
-	intra [][]link
-	// in/out port occupancy per GPN.
-	inPort  []link
-	outPort []link
-	stats   Stats
-	// Busy-cycle accumulators for the utilization breakdown: plain float
-	// adds on the send path, divided by elapsed time at dump time.
-	intraBusy []float64
-	outBusy   []float64
-	inBusy    []float64
-	// msgBytes buckets per-message sizes (log2).
-	msgBytes stats.Histogram
+	gpn       []hierGPN
+	// total and msgBytesTotal back the dump records; Finalize folds the
+	// per-GPN accumulators into them.
+	total         Stats
+	msgBytesTotal stats.Histogram
 }
 
-// NewHierarchical builds the fabric for gpns GPNs of pesPerGPN PEs each.
-func NewHierarchical(eng *sim.Engine, gpns, pesPerGPN int, p2p P2PConfig, xbar CrossbarConfig) *Hierarchical {
-	if gpns <= 0 || pesPerGPN <= 0 {
-		panic(fmt.Sprintf("network: invalid geometry %d GPNs × %d PEs", gpns, pesPerGPN))
+// NewHierarchical builds the fabric for len(engines) GPNs of pesPerGPN
+// PEs each, GPN g running on engines[g]. Pass SharedEngines for a
+// single-event-loop system.
+func NewHierarchical(engines []*sim.Engine, pesPerGPN int, p2p P2PConfig, xbar CrossbarConfig) *Hierarchical {
+	if len(engines) == 0 || pesPerGPN <= 0 {
+		panic(fmt.Sprintf("network: invalid geometry %d GPNs × %d PEs", len(engines), pesPerGPN))
 	}
 	h := &Hierarchical{
-		eng:       eng,
+		engines:   engines,
 		pesPerGPN: pesPerGPN,
 		p2p:       p2p,
 		xbar:      xbar,
-		intra:     make([][]link, gpns),
-		inPort:    make([]link, gpns),
-		outPort:   make([]link, gpns),
-		intraBusy: make([]float64, gpns),
-		outBusy:   make([]float64, gpns),
-		inBusy:    make([]float64, gpns),
+		gpn:       make([]hierGPN, len(engines)),
 	}
-	for g := range h.intra {
-		h.intra[g] = make([]link, pesPerGPN*pesPerGPN)
+	for g := range h.gpn {
+		if engines[g] == nil {
+			panic(fmt.Sprintf("network: nil engine for gpn%d", g))
+		}
+		h.gpn[g].eng = engines[g]
+		h.gpn[g].intra = make([]link, pesPerGPN*pesPerGPN)
 	}
 	return h
 }
 
 // Send implements Fabric.
 func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
-	h.stats.Messages++
-	h.stats.Bytes += uint64(bytes)
-	h.msgBytes.Observe(uint64(bytes))
 	sg, dg := src/h.pesPerGPN, dst/h.pesPerGPN
+	g := &h.gpn[sg]
+	g.stats.Messages++
+	g.stats.Bytes += uint64(bytes)
+	g.msgBytes.Observe(uint64(bytes))
 	if sg == dg {
-		h.stats.LocalBytes += uint64(bytes)
-		h.intraBusy[sg] += float64(bytes) / h.p2p.BytesPerCycle
-		l := &h.intra[sg][(src%h.pesPerGPN)*h.pesPerGPN+dst%h.pesPerGPN]
-		l.transfer(h.eng, bytes, h.p2p.BytesPerCycle, h.p2p.Latency, deliver)
+		g.stats.LocalBytes += uint64(bytes)
+		g.intraBusy += float64(bytes) / h.p2p.BytesPerCycle
+		l := &g.intra[(src%h.pesPerGPN)*h.pesPerGPN+dst%h.pesPerGPN]
+		l.transfer(g.eng, bytes, h.p2p.BytesPerCycle, h.p2p.Latency, deliver)
 		return
 	}
-	h.stats.InterBytes += uint64(bytes)
-	h.outBusy[sg] += float64(bytes) / h.xbar.BytesPerCycle
-	h.inBusy[dg] += float64(bytes) / h.xbar.BytesPerCycle
+	g.stats.InterBytes += uint64(bytes)
+	g.outBusy += float64(bytes) / h.xbar.BytesPerCycle
 	// Source GPN's output port, then destination GPN's input port. The
 	// stages arbitrate independently (the switch buffers between them),
 	// so a busy destination port does not convoy-block the source port.
-	out := &h.outPort[sg]
-	in := &h.inPort[dg]
-	t1 := out.reserve(float64(h.eng.Now()), bytes, h.xbar.BytesPerCycle)
-	t2 := in.reserve(t1, bytes, h.xbar.BytesPerCycle)
-	h.eng.ScheduleAt(sim.Ticks(t2+0.999999)+h.xbar.Latency, deliver)
+	t1 := g.outPort.reserve(float64(g.eng.Now()), bytes, h.xbar.BytesPerCycle)
+	d := &h.gpn[dg]
+	if d.eng == g.eng {
+		// Both GPNs share one event loop: complete the transfer inline,
+		// exactly like the pre-sharding fabric.
+		d.inBusy += float64(bytes) / h.xbar.BytesPerCycle
+		t2 := d.inPort.reserve(t1, bytes, h.xbar.BytesPerCycle)
+		g.eng.ScheduleAt(sim.Ticks(t2+0.999999)+h.xbar.Latency, deliver)
+		return
+	}
+	g.outbox = append(g.outbox, outMsg{
+		t1: t1, dst: int32(dst), bytes: int32(bytes), deliver: deliver,
+	})
 }
 
-// Stats implements Fabric.
-func (h *Hierarchical) Stats() Stats { return h.stats }
+// Lookahead implements Fabric: the crossbar's fixed latency bounds every
+// cross-engine message.
+func (h *Hierarchical) Lookahead() sim.Ticks { return h.xbar.Latency }
+
+// Exchange implements Fabric. Source GPNs drain in ascending index order
+// and each outbox preserves send order, so delivery order — and therefore
+// every destination in-port reservation — is identical at any worker
+// count.
+func (h *Hierarchical) Exchange() (int, error) {
+	delivered := 0
+	for sg := range h.gpn {
+		g := &h.gpn[sg]
+		for i := range g.outbox {
+			m := &g.outbox[i]
+			dg := int(m.dst) / h.pesPerGPN
+			d := &h.gpn[dg]
+			d.inBusy += float64(m.bytes) / h.xbar.BytesPerCycle
+			t2 := d.inPort.reserve(m.t1, int(m.bytes), h.xbar.BytesPerCycle)
+			when := sim.Ticks(t2+0.999999) + h.xbar.Latency
+			if now := d.eng.Now(); when < now {
+				return delivered, fmt.Errorf(
+					"network: cross-shard message gpn%d→gpn%d arrives at tick %d, behind destination time %d (lookahead violation)",
+					sg, dg, when, now)
+			}
+			d.eng.ScheduleAt(when, m.deliver)
+			m.deliver = nil
+			delivered++
+		}
+		g.outbox = g.outbox[:0]
+	}
+	return delivered, nil
+}
+
+// Stats implements Fabric, summing the per-GPN counters on the fly.
+func (h *Hierarchical) Stats() Stats {
+	var s Stats
+	for g := range h.gpn {
+		s.add(h.gpn[g].stats)
+	}
+	return s
+}
+
+// Finalize implements Fabric.
+func (h *Hierarchical) Finalize() {
+	h.total = h.Stats()
+	h.msgBytesTotal = stats.Histogram{}
+	for g := range h.gpn {
+		h.msgBytesTotal.Merge(h.gpn[g].msgBytes)
+	}
+}
 
 // RegisterStats implements Fabric: traffic counters and message-size
-// histogram at the fabric root, plus per-GPN busy-cycle totals and
-// utilization formulas. Intra-GPN utilization is normalised by the
-// aggregate bandwidth of a GPN's point-to-point mesh (pesPerGPN² links);
-// crossbar ports normalise by one port's bandwidth.
+// histogram at the fabric root (filled in by Finalize), plus per-GPN
+// busy-cycle totals and utilization formulas. Intra-GPN utilization is
+// normalised by the aggregate bandwidth of a GPN's point-to-point mesh
+// (pesPerGPN² links); crossbar ports normalise by one port's bandwidth.
 func (h *Hierarchical) RegisterStats(g *stats.Group) {
-	g.Uint64(&h.stats.Messages, "messages", stats.Count, "messages sent over the fabric")
-	g.Uint64(&h.stats.Bytes, "bytes", stats.Bytes, "total message payload moved")
-	g.Uint64(&h.stats.LocalBytes, "local_bytes", stats.Bytes, "bytes that stayed within one GPN's point-to-point mesh")
-	g.Uint64(&h.stats.InterBytes, "inter_bytes", stats.Bytes, "bytes that crossed the GPN-level crossbar")
-	g.Histogram(&h.msgBytes, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
+	g.Uint64(&h.total.Messages, "messages", stats.Count, "messages sent over the fabric")
+	g.Uint64(&h.total.Bytes, "bytes", stats.Bytes, "total message payload moved")
+	g.Uint64(&h.total.LocalBytes, "local_bytes", stats.Bytes, "bytes that stayed within one GPN's point-to-point mesh")
+	g.Uint64(&h.total.InterBytes, "inter_bytes", stats.Bytes, "bytes that crossed the GPN-level crossbar")
+	g.Histogram(&h.msgBytesTotal, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
 	elapsed := func() float64 {
-		if t := h.eng.Now(); t > 0 {
+		var t sim.Ticks
+		for _, e := range h.engines {
+			if n := e.Now(); n > t {
+				t = n
+			}
+		}
+		if t > 0 {
 			return float64(t)
 		}
 		return 1
 	}
-	for gi := range h.intra {
+	for gi := range h.gpn {
 		gi := gi
 		gg := g.Group(fmt.Sprintf("gpn%d", gi))
-		gg.Float64(&h.intraBusy[gi], "p2p_busy_cycles", stats.Cycles, "aggregate link-busy cycles on the GPN's point-to-point mesh")
-		gg.Float64(&h.outBusy[gi], "xbar_out_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar output port")
-		gg.Float64(&h.inBusy[gi], "xbar_in_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar input port")
+		gg.Float64(&h.gpn[gi].intraBusy, "p2p_busy_cycles", stats.Cycles, "aggregate link-busy cycles on the GPN's point-to-point mesh")
+		gg.Float64(&h.gpn[gi].outBusy, "xbar_out_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar output port")
+		gg.Float64(&h.gpn[gi].inBusy, "xbar_in_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar input port")
 		links := float64(h.pesPerGPN * h.pesPerGPN)
-		gg.Formula(func() float64 { return h.intraBusy[gi] / (elapsed() * links) },
+		gg.Formula(func() float64 { return h.gpn[gi].intraBusy / (elapsed() * links) },
 			"p2p_utilization", stats.Ratio, "point-to-point mesh utilization (busy / elapsed·links)")
-		gg.Formula(func() float64 { return h.outBusy[gi] / elapsed() },
+		gg.Formula(func() float64 { return h.gpn[gi].outBusy / elapsed() },
 			"xbar_out_utilization", stats.Ratio, "crossbar output port utilization")
-		gg.Formula(func() float64 { return h.inBusy[gi] / elapsed() },
+		gg.Formula(func() float64 { return h.gpn[gi].inBusy / elapsed() },
 			"xbar_in_utilization", stats.Ratio, "crossbar input port utilization")
 	}
+}
+
+// idealMsg is one buffered cross-engine message on the ideal fabric.
+type idealMsg struct {
+	when    sim.Ticks
+	deliver sim.Handler
+	dst     int32
+}
+
+// idealGPN is the per-GPN slice of an Ideal fabric; written only by the
+// owning shard's goroutine.
+type idealGPN struct {
+	eng      *sim.Engine
+	stats    Stats
+	msgBytes stats.Histogram
+	outbox   []idealMsg
 }
 
 // Ideal is a fully-connected point-to-point fabric with unlimited bandwidth
 // and a fixed latency — the "P2P with infinite bandwidth" configuration of
 // Figure 9c.
 type Ideal struct {
-	eng      *sim.Engine
-	latency  sim.Ticks
-	stats    Stats
-	msgBytes stats.Histogram
+	engines       []*sim.Engine
+	pesPerGPN     int
+	latency       sim.Ticks
+	gpn           []idealGPN
+	total         Stats
+	msgBytesTotal stats.Histogram
 }
 
-// NewIdeal builds an ideal fabric.
-func NewIdeal(eng *sim.Engine, latency sim.Ticks) *Ideal {
-	return &Ideal{eng: eng, latency: latency}
+// NewIdeal builds an ideal fabric for len(engines) GPNs of pesPerGPN PEs
+// each, GPN g running on engines[g].
+func NewIdeal(engines []*sim.Engine, pesPerGPN int, latency sim.Ticks) *Ideal {
+	if len(engines) == 0 || pesPerGPN <= 0 {
+		panic(fmt.Sprintf("network: invalid geometry %d GPNs × %d PEs", len(engines), pesPerGPN))
+	}
+	f := &Ideal{
+		engines:   engines,
+		pesPerGPN: pesPerGPN,
+		latency:   latency,
+		gpn:       make([]idealGPN, len(engines)),
+	}
+	for g := range f.gpn {
+		if engines[g] == nil {
+			panic(fmt.Sprintf("network: nil engine for gpn%d", g))
+		}
+		f.gpn[g].eng = engines[g]
+	}
+	return f
 }
 
 // Send implements Fabric.
-func (i *Ideal) Send(src, dst, bytes int, deliver sim.Handler) {
-	i.stats.Messages++
-	i.stats.Bytes += uint64(bytes)
-	i.stats.LocalBytes += uint64(bytes)
-	i.msgBytes.Observe(uint64(bytes))
-	i.eng.Schedule(i.latency, deliver)
+func (f *Ideal) Send(src, dst, bytes int, deliver sim.Handler) {
+	sg, dg := src/f.pesPerGPN, dst/f.pesPerGPN
+	g := &f.gpn[sg]
+	g.stats.Messages++
+	g.stats.Bytes += uint64(bytes)
+	g.stats.LocalBytes += uint64(bytes)
+	g.msgBytes.Observe(uint64(bytes))
+	if f.gpn[dg].eng == g.eng {
+		g.eng.Schedule(f.latency, deliver)
+		return
+	}
+	g.outbox = append(g.outbox, idealMsg{
+		when: g.eng.Now() + f.latency, deliver: deliver, dst: int32(dst),
+	})
+}
+
+// Lookahead implements Fabric: every message takes the fixed latency.
+func (f *Ideal) Lookahead() sim.Ticks { return f.latency }
+
+// Exchange implements Fabric.
+func (f *Ideal) Exchange() (int, error) {
+	delivered := 0
+	for sg := range f.gpn {
+		g := &f.gpn[sg]
+		for i := range g.outbox {
+			m := &g.outbox[i]
+			dg := int(m.dst) / f.pesPerGPN
+			d := &f.gpn[dg]
+			if now := d.eng.Now(); m.when < now {
+				return delivered, fmt.Errorf(
+					"network: cross-shard message gpn%d→gpn%d arrives at tick %d, behind destination time %d (lookahead violation)",
+					sg, dg, m.when, now)
+			}
+			d.eng.ScheduleAt(m.when, m.deliver)
+			m.deliver = nil
+			delivered++
+		}
+		g.outbox = g.outbox[:0]
+	}
+	return delivered, nil
 }
 
 // Stats implements Fabric.
-func (i *Ideal) Stats() Stats { return i.stats }
+func (f *Ideal) Stats() Stats {
+	var s Stats
+	for g := range f.gpn {
+		s.add(f.gpn[g].stats)
+	}
+	return s
+}
+
+// Finalize implements Fabric.
+func (f *Ideal) Finalize() {
+	f.total = f.Stats()
+	f.msgBytesTotal = stats.Histogram{}
+	for g := range f.gpn {
+		f.msgBytesTotal.Merge(f.gpn[g].msgBytes)
+	}
+}
 
 // RegisterStats implements Fabric. The ideal fabric has no contention, so
 // only traffic counters and message sizes are reported.
-func (i *Ideal) RegisterStats(g *stats.Group) {
-	g.Uint64(&i.stats.Messages, "messages", stats.Count, "messages sent over the fabric")
-	g.Uint64(&i.stats.Bytes, "bytes", stats.Bytes, "total message payload moved")
-	g.Uint64(&i.stats.LocalBytes, "local_bytes", stats.Bytes, "bytes delivered (all traffic is local on the ideal fabric)")
-	g.Histogram(&i.msgBytes, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
+func (f *Ideal) RegisterStats(g *stats.Group) {
+	g.Uint64(&f.total.Messages, "messages", stats.Count, "messages sent over the fabric")
+	g.Uint64(&f.total.Bytes, "bytes", stats.Bytes, "total message payload moved")
+	g.Uint64(&f.total.LocalBytes, "local_bytes", stats.Bytes, "bytes delivered (all traffic is local on the ideal fabric)")
+	g.Histogram(&f.msgBytesTotal, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
 }

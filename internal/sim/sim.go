@@ -117,6 +117,16 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending returns the number of scheduled events.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// NextWhen returns the tick of the earliest pending event and whether one
+// exists. Clusters use it to compute the next conservative time window
+// without popping the queue.
+func (e *Engine) NextWhen() (Ticks, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].when, true
+}
+
 // Reset returns the engine to tick zero with an empty queue, keeping the
 // queue capacity and the event pool so harness jobs can reuse one engine
 // across sweep cells without reallocating.

@@ -209,6 +209,21 @@ func (h *Histogram) Observe(v uint64) {
 	h.sum += v
 }
 
+// Merge folds another histogram into h, as if every sample observed on o
+// had been observed on h. Both histograms must use the same bucketing
+// (equal Width). Used when aggregating per-shard histograms into a
+// machine-wide one at dump time.
+func (h *Histogram) Merge(o Histogram) {
+	if o.n == 0 {
+		return
+	}
+	h.n += o.n
+	h.sum += o.sum
+	for b := range o.buckets {
+		h.buckets[b] += o.buckets[b]
+	}
+}
+
 // N returns the sample count.
 func (h *Histogram) N() uint64 { return h.n }
 

@@ -52,6 +52,10 @@ type Config struct {
 	Seed int64
 	// MaxEvents bounds simulation length (0 = default budget).
 	MaxEvents uint64
+	// Shards is the number of worker goroutines driving the per-GPN
+	// engine shards (0 or 1 = sequential). Clamped to GPNs; results are
+	// bit-identical at every setting.
+	Shards int
 }
 
 // DefaultConfig returns a single-GPN Table II system with random vertex
@@ -88,6 +92,7 @@ func (c Config) coreConfig() (core.Config, error) {
 		}
 	}
 	cc.MaxEvents = c.MaxEvents
+	cc.Shards = c.Shards
 	switch c.Spill {
 	case "", "overwrite":
 		cc.Spill = core.SpillOverwrite
@@ -180,6 +185,14 @@ type Report struct {
 	NetworkInterBytes uint64
 	// LoadImbalance is max(per-PE propagations)/mean (1.0 = balanced).
 	LoadImbalance float64
+	// Shards is the worker-goroutine count the run executed with;
+	// Windows counts conservative synchronization windows, and the two
+	// wall-clock fields split host time between in-window execution and
+	// barrier synchronization (all zero-window for 1-GPN systems).
+	Shards             int
+	Windows            uint64
+	WindowWallSeconds  float64
+	BarrierWallSeconds float64
 	// Dump is the full hierarchical statistics dump (per-PE, per-channel,
 	// per-link detail); the flat fields above are its root-level records.
 	Dump *stats.Dump
@@ -238,6 +251,10 @@ func reportFromCore(res *core.Result) *Report {
 		NetworkBytes:       res.Net.Bytes,
 		NetworkInterBytes:  res.Net.InterBytes,
 		LoadImbalance:      res.LoadImbalance(),
+		Shards:             res.Shards,
+		Windows:            res.Windows,
+		WindowWallSeconds:  res.WindowWallSeconds,
+		BarrierWallSeconds: res.BarrierWallSeconds,
 		Dump:               res.Dump,
 	}
 }
@@ -350,6 +367,9 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	out.Props, out.Stats = rep.Props, rep.Stats
 	out.Dump = rep.Dump
 	out.Metrics = rep.Dump.Bag()
+	out.Shards = rep.Shards
+	out.WindowWallSeconds = rep.WindowWallSeconds
+	out.BarrierWallSeconds = rep.BarrierWallSeconds
 	return out, nil
 }
 
