@@ -28,8 +28,13 @@ BENCH_SHARD_BASE ?= /tmp/BENCH_sim.shardbase.json
 # overrides this; results are bit-identical at every setting).
 SPILL_SHARDS ?= 4
 
+# Wall-clock bound for the spill-stress cell: generous for the nightly
+# runner, but a hung run now dies with a PARTIAL(deadline) report and a
+# flushed stats dump instead of eating the job's 120-minute budget.
+SPILL_TIMEOUT ?= 90m
+
 .PHONY: all build vet test race bench bench-sim bench-check bench-shard \
-	golden fmt-check stats-md staticcheck spill-stress
+	golden fmt-check stats-md staticcheck spill-stress chaos
 
 all: build vet test
 
@@ -76,7 +81,13 @@ bench-shard: build
 spill-stress: build
 	$(GO) run ./cmd/novasim -engine nova -workload prdelta -graph twitter \
 		-scale large -gpns 4 -shards $(SPILL_SHARDS) \
+		-timeout $(SPILL_TIMEOUT) \
 		-stats-out spill_stress_stats.json
+
+# Randomized fault-injection sweep (DESIGN.md §15): 100+ injected faults
+# per run, seed logged for replay via CHAOS_SEED.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v -timeout 20m ./internal/chaos
 
 # staticcheck is optional locally (not vendored); CI installs it.
 staticcheck:

@@ -1,6 +1,7 @@
 package nova
 
 import (
+	"context"
 	"fmt"
 
 	"nova/graph"
@@ -8,6 +9,7 @@ import (
 	"nova/internal/ligra"
 	"nova/internal/polygraph"
 	"nova/internal/ref"
+	"nova/internal/sim"
 	"nova/internal/stats"
 	"nova/program"
 )
@@ -40,6 +42,10 @@ type PolyGraphReport struct {
 	// Dump is the full hierarchical statistics dump (per-slice schedule,
 	// traffic split); the flat fields above are its root-level records.
 	Dump *stats.Dump
+	// Partial marks a salvaged report from a run that stopped early;
+	// StopReason classifies why ("cancelled", "deadline", "budget").
+	Partial    bool
+	StopReason string
 }
 
 // GTEPS returns effective throughput against the graph's edge count.
@@ -64,8 +70,16 @@ func (b *PolyGraphBaseline) config() polygraph.Config {
 
 // Run executes p on g under the PolyGraph model.
 func (b *PolyGraphBaseline) Run(p program.Program, g *graph.CSR) (*PolyGraphReport, error) {
-	res, err := polygraph.Run(b.config(), g, p)
-	if err != nil {
+	return b.RunContext(context.Background(), p, g)
+}
+
+// RunContext executes p on g, polling ctx cooperatively between rounds
+// and slice activations. On a cooperative stop (cancellation, deadline,
+// round-budget exhaustion) it returns BOTH a partial report (Partial set,
+// with its StopReason) and the error.
+func (b *PolyGraphBaseline) RunContext(ctx context.Context, p program.Program, g *graph.CSR) (*PolyGraphReport, error) {
+	res, err := polygraph.Run(ctx, b.config(), g, p)
+	if res == nil {
 		return nil, err
 	}
 	return &PolyGraphReport{
@@ -79,7 +93,9 @@ func (b *PolyGraphBaseline) Run(p program.Program, g *graph.CSR) (*PolyGraphRepo
 		SlicePasses:         res.SlicePasses,
 		EdgeBandwidthShare:  res.EdgeBandwidthShare,
 		Dump:                res.Dump,
-	}, nil
+		Partial:             res.Partial,
+		StopReason:          string(res.StopReason),
+	}, err
 }
 
 // RunProgram implements program.Runner.
@@ -89,6 +105,17 @@ func (b *PolyGraphBaseline) RunProgram(p program.Program, g *graph.CSR) ([]progr
 		return nil, program.RunStats{}, err
 	}
 	return rep.Props, rep.Stats, nil
+}
+
+// RunProgramContext is RunProgram with cooperative cancellation; on a
+// cooperative stop the partial props and stats come back alongside the
+// error so multi-phase drivers can salvage what completed.
+func (b *PolyGraphBaseline) RunProgramContext(ctx context.Context, p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
+	rep, err := b.RunContext(ctx, p, g)
+	if rep == nil {
+		return nil, program.RunStats{}, err
+	}
+	return rep.Props, rep.Stats, err
 }
 
 var _ program.Runner = (*PolyGraphBaseline)(nil)
@@ -114,7 +141,7 @@ func (e pgEngine) Fingerprint() string {
 		cfg.OnChipBytes, cfg.MemBandwidth, cfg.ForceSlices)
 }
 
-func (e pgEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+func (e pgEngine) RunWorkload(ctx context.Context, w harness.Workload) (*harness.Report, error) {
 	if w.Name == SpillStressWorkload {
 		// PolyGraph can execute the program, but an always-active delta
 		// workload defeats temporal slicing — every slice pass touches
@@ -138,9 +165,15 @@ func (e pgEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 		if gT == nil {
 			gT = w.G.Transpose()
 		}
-		scores, stats, err := program.RunBC(e.b, w.G, gT, w.Root)
+		scores, stats, err := program.RunBC(ctxRunner{ctx, e.b}, w.G, gT, w.Root)
 		if err != nil {
-			return nil, err
+			reason := sim.ReasonFor(err)
+			if reason == "" {
+				return nil, err
+			}
+			out.Scores, out.Stats = scores, stats
+			out.Partial, out.StopReason = true, string(reason)
+			return out, err
 		}
 		out.Scores, out.Stats = scores, stats
 		return out, nil
@@ -149,14 +182,15 @@ func (e pgEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := e.b.Run(p, w.G)
-	if err != nil {
+	rep, err := e.b.RunContext(ctx, p, w.G)
+	if rep == nil {
 		return nil, err
 	}
 	out.Props, out.Stats = rep.Props, rep.Stats
 	out.Dump = rep.Dump
 	out.Metrics = rep.Dump.Bag()
-	return out, nil
+	out.Partial, out.StopReason = rep.Partial, rep.StopReason
+	return out, err
 }
 
 var _ harness.Engine = pgEngine{}
@@ -181,6 +215,11 @@ type SoftwareReport struct {
 	// Dump is the statistics dump (wall-clock and traversal counts are
 	// marked volatile, so dump diffs skip them by default).
 	Dump *stats.Dump
+	// Partial marks a salvaged report: the kernel stopped between edgeMap
+	// iterations because its context was cancelled. StopReason classifies
+	// why ("cancelled", "deadline").
+	Partial    bool
+	StopReason string
 }
 
 // GTEPS returns traversed giga-edges per second.
@@ -203,7 +242,18 @@ func (s *Software) engine() *ligra.Engine {
 // "sssp", "cc", "pr", "bc"). gT (the transpose) is required for bfs, pr
 // and bc; prIters configures PageRank.
 func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*SoftwareReport, error) {
+	return s.RunWorkloadContext(context.Background(), name, g, gT, root, prIters)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation: the
+// kernel checks ctx between edgeMap iterations and, when cancelled,
+// returns the partial report (Partial set) alongside the context error.
+func (s *Software) RunWorkloadContext(ctx context.Context, name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*SoftwareReport, error) {
 	e := s.engine()
+	intr := sim.NewInterrupt()
+	e.Interrupt = intr
+	stop := sim.WatchContext(ctx, intr)
+	defer stop()
 	var rep *SoftwareReport
 	var res ligra.Result
 	switch name {
@@ -239,6 +289,11 @@ func (s *Software) RunWorkload(name string, g, gT *graph.CSR, root graph.VertexI
 		"workload": name,
 		"graph":    g.Name,
 	})
+	if err := intr.Err(); err != nil {
+		rep.Partial = true
+		rep.StopReason = string(sim.ReasonFor(err))
+		return rep, err
+	}
 	return rep, nil
 }
 
@@ -262,7 +317,7 @@ func (e ligraEngine) Fingerprint() string {
 	return fmt.Sprintf("ligra{threads=%d}", e.s.Threads)
 }
 
-func (e ligraEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+func (e ligraEngine) RunWorkload(ctx context.Context, w harness.Workload) (*harness.Report, error) {
 	prIters := w.PRIters
 	if prIters <= 0 {
 		prIters = 10
@@ -271,8 +326,8 @@ func (e ligraEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	if gT == nil {
 		gT = w.G.Transpose()
 	}
-	rep, err := e.s.RunWorkload(w.Name, w.G, gT, w.Root, prIters)
-	if err != nil {
+	rep, err := e.s.RunWorkloadContext(ctx, w.Name, w.G, gT, w.Root, prIters)
+	if rep == nil {
 		return nil, err
 	}
 	out := &harness.Report{
@@ -304,7 +359,8 @@ func (e ligraEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	case rep.Scores != nil:
 		out.Scores = rep.Scores
 	}
-	return out, nil
+	out.Partial, out.StopReason = rep.Partial, rep.StopReason
+	return out, err
 }
 
 var _ harness.Engine = ligraEngine{}

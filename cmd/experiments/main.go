@@ -17,11 +17,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"nova/internal/exp"
@@ -65,7 +68,13 @@ func main() {
 			}
 		}
 	}
-	ctx := context.Background()
+	// SIGINT/SIGTERM cancel the sweep context: in-flight cells stop
+	// cooperatively, undispatched cells report the cancellation, and the
+	// process exits nonzero. A second signal kills the process the default
+	// way, because stop() deregisters once the context is cancelled.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	context.AfterFunc(ctx, stopSignals)
 	fmt.Printf("NOVA reproduction experiments — scale=%s\n", scale)
 	if *benchPath != "" {
 		// Pre-build the dataset registry so the timed sequential and
@@ -87,6 +96,10 @@ func main() {
 		runner := exp.All[id]
 		table, st, err := runOne(ctx, runner, id, scale, *jobs, !*quiet)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted\n", id)
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
 		if *markdown {

@@ -24,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"nova"
@@ -53,10 +55,19 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
 	statsOut := flag.String("stats-out", "", "write the merged statistics dump to FILE (.json, .csv, or .txt by extension)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
+	timeout := flag.Duration("timeout", 0, "per-cell wall-clock timeout (0 = unbounded); a timed-out cell reports a partial result")
 	profFlags := prof.RegisterFlags()
 	flag.Parse()
 	defer profFlags.Start()()
 	exp.Shards = *shards
+
+	// SIGINT/SIGTERM cancel the run context: the engines stop cooperatively
+	// within one poll interval and partial results are still rendered (and
+	// flushed to -stats-out, marked partial). A second signal kills the
+	// process the default way, because stop() deregisters on cancellation.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	context.AfterFunc(ctx, stopSignals)
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	check(err)
@@ -86,7 +97,7 @@ func main() {
 	// -stats-out routes through the sweep path even for a single cell, so
 	// every cell's dump lands in one merged, engine.workload-prefixed file.
 	if len(engines)*len(workloads) > 1 || *statsOut != "" {
-		runSweep(scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN, *statsOut)
+		runSweep(ctx, scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN, *timeout, *statsOut)
 		return
 	}
 
@@ -127,21 +138,22 @@ func main() {
 			}
 			check(fmt.Errorf("-trace supports single-phase workloads (bfs/sssp/cc/pr)"))
 		}
-		out, err := nova.RunWorkload(acc, *workload, g, gT, d.Root, *prIters)
-		check(err)
+		out, err := nova.RunWorkloadContext(ctx, acc, *workload, g, gT, d.Root, *prIters)
+		checkPartial(out, err)
 		printOutcome(out)
-		if *verify && out.Props != nil && (*workload == "bfs" || *workload == "sssp" || *workload == "cc") {
+		if *verify && !out.Partial && out.Props != nil && (*workload == "bfs" || *workload == "sssp" || *workload == "cc") {
 			check(nova.Verify(*workload, g, d.Root, out.Props))
 			fmt.Println("verified against sequential oracle: OK")
 		}
+		exitPartial(out)
 	case "polygraph":
 		if *workload == nova.SpillStressWorkload {
 			check(fmt.Errorf("%q is the NOVA spill-stress workload; run it with -engine nova", *workload))
 		}
 		pg := exp.PGBaseline(scale)
-		out, err := nova.RunWorkload(pg, *workload, g, gT, d.Root, *prIters)
-		check(err)
-		if p := singleProgram(*workload, d, *prIters); p != nil {
+		out, err := nova.RunWorkloadContext(ctx, pg, *workload, g, gT, d.Root, *prIters)
+		checkPartial(out, err)
+		if p := singleProgram(*workload, d, *prIters); p != nil && !out.Partial {
 			rep, err := pg.Run(p, g)
 			if err == nil {
 				fmt.Printf("slices=%d passes=%d breakdown: proc=%.1f%% switch=%.1f%% ineff=%.1f%%\n",
@@ -152,12 +164,19 @@ func main() {
 			}
 		}
 		printOutcome(out)
+		exitPartial(out)
 	case "ligra":
 		sw := &nova.Software{}
-		rep, err := sw.RunWorkload(*workload, g, gT, d.Root, *prIters)
-		check(err)
+		rep, err := sw.RunWorkloadContext(ctx, *workload, g, gT, d.Root, *prIters)
+		if err != nil && (rep == nil || !rep.Partial) {
+			check(err)
+		}
 		fmt.Printf("wall time: %.3f ms, traversed %d edges, %.3f GTEPS, %d iterations\n",
 			rep.Seconds*1e3, rep.EdgesTraversed, rep.GTEPS(), rep.Iterations)
+		if rep.Partial {
+			fmt.Printf("PARTIAL run (%s): counts cover only the iterations before the stop\n", rep.StopReason)
+			os.Exit(1)
+		}
 	default:
 		check(fmt.Errorf("unknown engine %q", *engine))
 	}
@@ -182,6 +201,22 @@ func singleProgram(workload string, d *exp.Dataset, prIters int) program.Program
 	}
 }
 
+// checkPartial exits on hard errors but lets salvaged partial outcomes
+// through so they can be rendered before the process reports failure.
+func checkPartial(out *nova.Outcome, err error) {
+	if err != nil && (out == nil || !out.Partial) {
+		check(err)
+	}
+}
+
+// exitPartial fails the process after a partial outcome has been printed:
+// an interrupted or budget-capped run must not read as a green one.
+func exitPartial(out *nova.Outcome) {
+	if out.Partial {
+		os.Exit(1)
+	}
+}
+
 func printOutcome(out *nova.Outcome) {
 	fmt.Printf("workload %s: %.3f ms simulated, %d edges traversed, %d messages (%.1f%% coalesced)\n",
 		out.Workload, out.Stats.SimSeconds*1e3, out.Stats.EdgesTraversed,
@@ -191,6 +226,9 @@ func printOutcome(out *nova.Outcome) {
 		out.WorkEfficiency(), out.EffectiveGTEPS())
 	if out.Stats.Epochs > 0 {
 		fmt.Printf("BSP epochs: %d\n", out.Stats.Epochs)
+	}
+	if out.Partial {
+		fmt.Printf("PARTIAL run (%s): stats cover only the work before the stop\n", out.StopReason)
 	}
 }
 
@@ -240,8 +278,10 @@ func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill, fabric 
 
 // runSweep fans the engine×workload grid out over the harness pool and
 // prints one summary line per cell, in grid order, plus the wall-clock
-// cost of the sweep vs its sequential equivalent.
-func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int, statsOut string) {
+// cost of the sweep vs its sequential equivalent. Cancelling ctx (Ctrl-C)
+// stops running cells cooperatively; their salvaged partial reports are
+// rendered, flushed to -stats-out marked partial, and fail the process.
+func runSweep(ctx context.Context, scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int, timeout time.Duration, statsOut string) {
 	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
 		d.Graph.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
 	var jobs []harness.Job[*harness.Report]
@@ -261,33 +301,40 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 			}
 			jobs = append(jobs, harness.Job[*harness.Report]{
 				Name: fmt.Sprintf("%s/%s", eng.Name(), w),
-				Run: func(context.Context) (*harness.Report, error) {
-					return eng.RunWorkload(harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters, Tier: scale.String()})
+				Run: func(ctx context.Context) (*harness.Report, error) {
+					return eng.RunWorkload(ctx, harness.Workload{Name: w, G: g, GT: gT, Root: d.Root, PRIters: prIters, Tier: scale.String()})
 				},
 			})
 		}
 	}
 	var busy time.Duration
-	pool := &harness.Pool{Workers: jobsN, OnDone: func(ev harness.Event) {
+	pool := &harness.Pool{Workers: jobsN, JobTimeout: timeout, OnDone: func(ev harness.Event) {
 		busy += ev.Elapsed
 		fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%v)\n", ev.Done, ev.Total, ev.Name, ev.Elapsed.Round(time.Millisecond))
 	}}
 	start := time.Now()
-	results := harness.Map(context.Background(), pool, jobs)
+	results := harness.Map(ctx, pool, jobs)
 	wall := time.Since(start)
 
 	fmt.Printf("%-10s %-8s %12s %14s %12s %10s\n", "engine", "workload", "time(ms)", "edges", "eff-gteps", "work-eff")
 	failed := 0
 	for _, r := range results {
-		if r.Err != nil {
+		rep := r.Value
+		if r.Err != nil && (rep == nil || !rep.Partial) {
 			failed++
 			fmt.Printf("%-10s %s\n", r.Name, r.Err)
 			continue
 		}
-		rep := r.Value
-		fmt.Printf("%-10s %-8s %12.3f %14d %12.3f %10.3f\n",
+		marker := ""
+		if rep.Partial {
+			// A salvaged cell still renders its stats — they cover the work
+			// completed before the stop — but fails the sweep.
+			failed++
+			marker = fmt.Sprintf("  PARTIAL(%s)", rep.StopReason)
+		}
+		fmt.Printf("%-10s %-8s %12.3f %14d %12.3f %10.3f%s\n",
 			rep.Engine, rep.Workload, rep.Stats.SimSeconds*1e3, rep.Stats.EdgesTraversed,
-			rep.EffectiveGTEPS(), rep.WorkEfficiency())
+			rep.EffectiveGTEPS(), rep.WorkEfficiency(), marker)
 	}
 	speedup := 0.0
 	if wall > 0 {
@@ -308,19 +355,31 @@ func runSweep(scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns
 
 // writeStatsDump merges every cell's dump (prefixed engine.workload) into
 // one file, choosing the sink by extension: .csv, .txt/.text, else JSON.
+// Salvaged partial cells (interrupted, timed out, budget-capped) are
+// included — their stats cover the work completed before the stop — and
+// stamp the dump metadata partial=true so downstream tooling never
+// mistakes a truncated sweep for a complete one.
 func writeStatsDump(results []harness.Result[*harness.Report], d *exp.Dataset, path string, wall time.Duration) error {
 	var parts []*stats.Dump
+	partial := false
 	for _, r := range results {
-		if r.Err != nil || r.Value == nil || r.Value.Dump == nil {
+		if r.Value == nil || r.Value.Dump == nil {
 			continue // failed cells and two-phase workloads ("bc") have no dump
+		}
+		if r.Value.Partial {
+			partial = true
 		}
 		parts = append(parts, r.Value.Dump.Prefixed(r.Value.Engine+"."+r.Value.Workload))
 	}
-	merged := stats.Merge(map[string]string{
+	meta := map[string]string{
 		"graph":        d.Graph.Name,
 		"shards":       fmt.Sprintf("%d", exp.Shards),
 		"wall_seconds": fmt.Sprintf("%.3f", wall.Seconds()),
-	}, parts...)
+	}
+	if partial {
+		meta["partial"] = "true"
+	}
+	merged := stats.Merge(meta, parts...)
 	f, err := os.Create(path)
 	if err != nil {
 		return err

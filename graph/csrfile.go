@@ -3,11 +3,19 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 )
+
+// ErrCorrupt is the sentinel wrapped by every corruption and truncation
+// error the container reader reports — a damaged or tampered file is
+// errors.Is(err, ErrCorrupt); I/O failures (missing path, permissions)
+// are not. Readers never panic on corrupt input: every section is bounds-
+// and checksum-validated before its payload drives allocation or indexing.
+var ErrCorrupt = errors.New("graph: corrupt csr container")
 
 // Versioned binary CSR container — the on-disk format of the large-graph
 // scale tier. The legacy WriteBinary/ReadBinary stream (io.go) has no
@@ -84,22 +92,22 @@ func headerBytes(numVertices int, numEdges int64, secs [csrFileSections]csrSecti
 // parseHeader validates the fixed-size header and returns its fields.
 func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection, err error) {
 	if len(buf) < csrFileHeaderSize {
-		return info, secs, fmt.Errorf("graph: csr file header truncated at %d bytes", len(buf))
+		return info, secs, fmt.Errorf("%w: header truncated at %d bytes", ErrCorrupt, len(buf))
 	}
 	if [4]byte(buf[0:4]) != csrFileMagic {
-		return info, secs, fmt.Errorf("graph: not a csr file (magic %q)", buf[0:4])
+		return info, secs, fmt.Errorf("%w: not a csr file (magic %q)", ErrCorrupt, buf[0:4])
 	}
 	if v := binary.LittleEndian.Uint16(buf[4:6]); v != CSRFileVersion {
-		return info, secs, fmt.Errorf("graph: unsupported csr file version %d (want %d)", v, CSRFileVersion)
+		return info, secs, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, CSRFileVersion)
 	}
 	crcOff := csrFileHeaderSize - 4
 	if got, want := crc32.Checksum(buf[:crcOff], crcTable), binary.LittleEndian.Uint32(buf[crcOff:]); got != want {
-		return info, secs, fmt.Errorf("graph: csr header checksum mismatch (%#x != %#x)", got, want)
+		return info, secs, fmt.Errorf("%w: header checksum mismatch (%#x != %#x)", ErrCorrupt, got, want)
 	}
 	n := binary.LittleEndian.Uint64(buf[8:16])
 	m := binary.LittleEndian.Uint64(buf[16:24])
 	if n == 0 || n > csrMaxVertices || m > csrMaxEdges {
-		return info, secs, fmt.Errorf("graph: implausible csr sizes V=%d E=%d", n, m)
+		return info, secs, fmt.Errorf("%w: implausible sizes V=%d E=%d", ErrCorrupt, n, m)
 	}
 	p := 24
 	for i := range secs {
@@ -116,7 +124,7 @@ func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection
 	wantEdge := m * csrEdgeRecBytes
 	if secs[0].off != csrFileHeaderSize || secs[0].length != wantRow ||
 		secs[1].off != secs[0].off+secs[0].length || secs[1].length != wantEdge {
-		return info, secs, fmt.Errorf("graph: csr section table inconsistent with V=%d E=%d", n, m)
+		return info, secs, fmt.Errorf("%w: section table inconsistent with V=%d E=%d", ErrCorrupt, n, m)
 	}
 	info = CSRFileInfo{
 		Version:     CSRFileVersion,
@@ -325,7 +333,7 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 func ReadCSR(name string, r io.Reader) (*CSR, error) {
 	hdr := make([]byte, csrFileHeaderSize)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, fmt.Errorf("graph: csr file header: %w", err)
+		return nil, fmt.Errorf("%w: header short read: %w", ErrCorrupt, err)
 	}
 	info, secs, err := parseHeader(hdr)
 	if err != nil {
@@ -346,7 +354,7 @@ func ReadCSR(name string, r io.Reader) (*CSR, error) {
 		for len(p) >= 8 {
 			v := int64(binary.LittleEndian.Uint64(p))
 			if v < prev || v > m {
-				return fmt.Errorf("graph: row pointer %d out of order (%d after %d)", idx, v, prev)
+				return fmt.Errorf("%w: row pointer %d out of order (%d after %d)", ErrCorrupt, idx, v, prev)
 			}
 			g.RowPtr[idx] = v
 			prev = v
@@ -358,10 +366,10 @@ func ReadCSR(name string, r io.Reader) (*CSR, error) {
 		return nil, err
 	}
 	if crc != secs[0].crc {
-		return nil, fmt.Errorf("graph: row-pointer section checksum mismatch")
+		return nil, fmt.Errorf("%w: row-pointer section checksum mismatch", ErrCorrupt)
 	}
 	if g.RowPtr[n] != m {
-		return nil, fmt.Errorf("graph: row pointers end at %d, want %d", g.RowPtr[n], m)
+		return nil, fmt.Errorf("%w: row pointers end at %d, want %d", ErrCorrupt, g.RowPtr[n], m)
 	}
 
 	crc = 0
@@ -370,7 +378,7 @@ func ReadCSR(name string, r io.Reader) (*CSR, error) {
 		for len(p) >= csrEdgeRecBytes {
 			d := binary.LittleEndian.Uint32(p)
 			if int64(d) >= int64(n) {
-				return fmt.Errorf("graph: edge %d: destination %d out of range", ei, d)
+				return fmt.Errorf("%w: edge %d: destination %d out of range", ErrCorrupt, ei, d)
 			}
 			g.Dst[ei] = VertexID(d)
 			g.Weight[ei] = binary.LittleEndian.Uint32(p[4:])
@@ -382,7 +390,7 @@ func ReadCSR(name string, r io.Reader) (*CSR, error) {
 		return nil, err
 	}
 	if crc != secs[1].crc {
-		return nil, fmt.Errorf("graph: edge section checksum mismatch")
+		return nil, fmt.Errorf("%w: edge section checksum mismatch", ErrCorrupt)
 	}
 	return g, nil
 }
@@ -397,7 +405,7 @@ func readSection(r io.Reader, buf []byte, length int64, crc *uint32, decode func
 		}
 		slab := buf[:want]
 		if _, err := io.ReadFull(r, slab); err != nil {
-			return fmt.Errorf("graph: csr section truncated: %w", err)
+			return fmt.Errorf("%w: section truncated: %w", ErrCorrupt, err)
 		}
 		*crc = crc32.Update(*crc, crcTable, slab)
 		if err := decode(slab); err != nil {
@@ -428,7 +436,7 @@ func StatCSRFile(path string) (CSRFileInfo, error) {
 	defer f.Close()
 	hdr := make([]byte, csrFileHeaderSize)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		return CSRFileInfo{}, fmt.Errorf("graph: csr file header: %w", err)
+		return CSRFileInfo{}, fmt.Errorf("%w: header short read: %w", ErrCorrupt, err)
 	}
 	info, _, err := parseHeader(hdr)
 	return info, err

@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"math/rand"
 	"os"
@@ -96,7 +97,7 @@ func TestBuildCSRFileMatchesFromStream(t *testing.T) {
 }
 
 // validContainer builds one well-formed container in memory.
-func validContainer(t *testing.T) []byte {
+func validContainer(t testing.TB) []byte {
 	t.Helper()
 	dir := t.TempDir()
 	g := GenUniform("t", 60, 4, 8, 1)
@@ -117,8 +118,11 @@ func TestReadCSRRejectsCorruption(t *testing.T) {
 	mutate := func(name string, f func([]byte)) {
 		bad := append([]byte(nil), good...)
 		f(bad)
-		if _, err := ReadCSR("t", bytes.NewReader(bad)); err == nil {
+		_, err := ReadCSR("t", bytes.NewReader(bad))
+		if err == nil {
 			t.Errorf("%s accepted", name)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error not typed ErrCorrupt: %v", name, err)
 		}
 	}
 	mutate("bad magic", func(b []byte) { b[0] ^= 0xFF })
@@ -136,8 +140,11 @@ func TestReadCSRRejectsCorruption(t *testing.T) {
 	// Truncation at every region boundary (and mid-region).
 	for _, cut := range []int{0, 3, csrFileHeaderSize - 1, csrFileHeaderSize,
 		csrFileHeaderSize + 5, len(good) - 1} {
-		if _, err := ReadCSR("t", bytes.NewReader(good[:cut])); err == nil {
+		_, err := ReadCSR("t", bytes.NewReader(good[:cut]))
+		if err == nil {
 			t.Errorf("truncation at %d accepted", cut)
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncation at %d: error not typed ErrCorrupt: %v", cut, err)
 		}
 	}
 
@@ -180,6 +187,90 @@ func TestReadCSRRejectsBadRowPtr(t *testing.T) {
 	resealHeader(bad)
 	if _, err := ReadCSR("t", bytes.NewReader(bad)); err == nil {
 		t.Error("non-monotonic row pointers accepted")
+	}
+}
+
+// TestReadCSRCorruptionIsTyped drives every corruption class the loader
+// distinguishes — truncation mid-header and mid-section, oversized
+// declared sizes and section lengths, tampered payloads behind resealed
+// checksums — and requires each to come back as a typed ErrCorrupt, never
+// a panic and never an untyped error.
+func TestReadCSRCorruptionIsTyped(t *testing.T) {
+	good := validContainer(t)
+	rowLen := int(binary.LittleEndian.Uint64(good[24+8:]))
+	cases := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"truncated mid-magic", func(b []byte) []byte { return b[:2] }},
+		{"truncated mid-header", func(b []byte) []byte { return b[:csrFileHeaderSize/2] }},
+		{"truncated before header crc", func(b []byte) []byte { return b[:csrFileHeaderSize-4] }},
+		{"header only", func(b []byte) []byte { return b[:csrFileHeaderSize] }},
+		{"truncated mid-rowptr", func(b []byte) []byte { return b[:csrFileHeaderSize+rowLen/2] }},
+		{"truncated at section boundary", func(b []byte) []byte { return b[:csrFileHeaderSize+rowLen] }},
+		{"truncated mid-edge-record", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"oversized vertex count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:16], csrMaxVertices+1)
+			resealHeader(b)
+			return b
+		}},
+		{"oversized edge count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:24], csrMaxEdges+1)
+			resealHeader(b)
+			return b
+		}},
+		{"oversized rowptr section length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24+8:], uint64(rowLen)*2)
+			resealHeader(b)
+			return b
+		}},
+		{"oversized edge section length", func(b []byte) []byte {
+			edgeLen := binary.LittleEndian.Uint64(b[24+24+8:])
+			binary.LittleEndian.PutUint64(b[24+24+8:], edgeLen+csrEdgeRecBytes)
+			resealHeader(b)
+			return b
+		}},
+		{"declared edges beyond file end", func(b []byte) []byte {
+			// A fully consistent header (sizes, section table, CRC all
+			// resealed) that promises more payload than the file holds must
+			// fail as a truncated section, not hang or over-allocate.
+			m := binary.LittleEndian.Uint64(b[16:24]) + 1000
+			binary.LittleEndian.PutUint64(b[16:24], m)
+			binary.LittleEndian.PutUint64(b[24+24+8:], m*csrEdgeRecBytes)
+			resealHeader(b)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mut(append([]byte(nil), good...))
+			_, err := ReadCSR("t", bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("corrupt container accepted")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error not typed ErrCorrupt: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadCSRSingleByteFlips flips one byte at every offset of a valid
+// container: the header CRC covers the header, the section CRCs cover the
+// payloads, so every flip must surface as a typed ErrCorrupt.
+func TestReadCSRSingleByteFlips(t *testing.T) {
+	good := validContainer(t)
+	for off := range good {
+		bad := append([]byte(nil), good...)
+		bad[off] ^= 0x01
+		_, err := ReadCSR("t", bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("flip at offset %d accepted", off)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at offset %d: error not typed ErrCorrupt: %v", off, err)
+		}
 	}
 }
 
@@ -242,6 +333,22 @@ func FuzzReadCSR(f *testing.F) {
 	add(FromStream(NewRMATStream("c", 64, 4, DefaultRMAT, 4, 2)))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, csrFileHeaderSize+32))
+	// Corruption seeds park the fuzzer at each validation layer: truncation
+	// boundaries, payload flips behind valid header CRCs, and a resealed
+	// header promising more payload than the file carries.
+	good := validContainer(f)
+	f.Add(good[:csrFileHeaderSize/2])
+	f.Add(good[:csrFileHeaderSize])
+	f.Add(good[:len(good)-3])
+	flipped := append([]byte(nil), good...)
+	flipped[csrFileHeaderSize] ^= 0x01
+	f.Add(flipped)
+	oversized := append([]byte(nil), good...)
+	m := binary.LittleEndian.Uint64(oversized[16:24]) + 1000
+	binary.LittleEndian.PutUint64(oversized[16:24], m)
+	binary.LittleEndian.PutUint64(oversized[24+24+8:], m*csrEdgeRecBytes)
+	resealHeader(oversized)
+	f.Add(oversized)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadCSR("fuzz", bytes.NewReader(data))

@@ -1,6 +1,8 @@
 package nova_test
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -54,7 +56,7 @@ func TestEngineAdapters(t *testing.T) {
 		if fp := eng.Fingerprint(); !strings.HasPrefix(fp, names[i]+"{") {
 			t.Fatalf("%s fingerprint %q lacks the engine prefix", names[i], fp)
 		}
-		rep, err := eng.RunWorkload(w)
+		rep, err := eng.RunWorkload(context.Background(), w)
 		if err != nil {
 			t.Fatalf("%s: %v", names[i], err)
 		}
@@ -94,7 +96,7 @@ func TestEngineAdapterMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := acc.Engine().RunWorkload(harness.Workload{Name: "bfs", G: g, Root: root})
+	rep, err := acc.Engine().RunWorkload(context.Background(), harness.Workload{Name: "bfs", G: g, Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +117,14 @@ func TestEngineAdapterBC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := acc.Engine().RunWorkload(harness.Workload{Name: "bc", G: g, Root: root})
+	rep, err := acc.Engine().RunWorkload(context.Background(), harness.Workload{Name: "bc", G: g, Root: root})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Scores == nil || rep.Stats.SimSeconds <= 0 {
 		t.Fatalf("bc adapter run incomplete: %+v", rep)
 	}
-	if _, err := acc.Engine().RunWorkload(harness.Workload{Name: "nope", G: g, Root: root}); err == nil {
+	if _, err := acc.Engine().RunWorkload(context.Background(), harness.Workload{Name: "nope", G: g, Root: root}); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }

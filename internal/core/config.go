@@ -9,11 +9,18 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nova/internal/mem"
 	"nova/internal/network"
 	"nova/internal/sim"
 )
+
+// DefaultStallTimeout is the watchdog interval used when
+// Config.StallTimeout is zero: long enough that no healthy cell at any
+// supported scale trips it, short enough to catch a livelocked run well
+// before a CI job timeout does.
+const DefaultStallTimeout = 30 * time.Second
 
 // SpillPolicy selects how the VMU handles active vertices that do not fit
 // in the on-chip active buffer (Table I).
@@ -101,6 +108,15 @@ type Config struct {
 	Spill SpillPolicy
 	// MaxEvents aborts runaway simulations (0 = default budget).
 	MaxEvents uint64
+	// StallTimeout arms the wall-clock watchdog: if no event executes and
+	// no barrier advances for this long, the run aborts with a stall
+	// diagnostic. 0 selects DefaultStallTimeout; negative disables the
+	// watchdog.
+	StallTimeout time.Duration
+	// PollEvents is the cancellation-poll stride per engine shard
+	// (0 = sim.DefaultPollEvents). Polling never changes results, only
+	// how quickly a cancellation or watchdog trip is observed.
+	PollEvents uint64
 	// Shards is the number of worker goroutines executing the per-GPN
 	// engine shards (0 means 1, i.e. fully sequential). Clamped to GPNs;
 	// results are bit-identical at every setting.

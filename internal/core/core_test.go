@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -28,7 +29,7 @@ func runOn(t *testing.T, cfg Config, g *graph.CSR, p program.Program) *Result {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(p)
+	res, err := sys.Run(context.Background(), p)
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", p.Name(), g.Name, err)
 	}
@@ -134,7 +135,7 @@ func (r sysRunner) RunProgram(p program.Program, g *graph.CSR) ([]program.Prop, 
 	if err != nil {
 		return nil, program.RunStats{}, err
 	}
-	res, err := sys.Run(p)
+	res, err := sys.Run(context.Background(), p)
 	if err != nil {
 		return nil, program.RunStats{}, err
 	}
@@ -210,7 +211,7 @@ func TestTrackerInvariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(program.NewBFS(g.LargestOutDegreeVertex())); err != nil {
+	if _, err := sys.Run(context.Background(), program.NewBFS(g.LargestOutDegreeVertex())); err != nil {
 		t.Fatal(err)
 	}
 	if n := sys.totalActive(); n != 0 {
@@ -239,7 +240,7 @@ func TestDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(program.NewSSSP(g.LargestOutDegreeVertex()))
+		res, err := sys.Run(context.Background(), program.NewSSSP(g.LargestOutDegreeVertex()))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,10 +340,10 @@ func TestRunTwiceFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(program.NewBFS(0)); err != nil {
+	if _, err := sys.Run(context.Background(), program.NewBFS(0)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(program.NewBFS(0)); err == nil {
+	if _, err := sys.Run(context.Background(), program.NewBFS(0)); err == nil {
 		t.Fatal("second Run did not fail")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"nova/graph"
@@ -77,7 +78,7 @@ func TestMidRunTrackerInvariants(t *testing.T) {
 		}
 	}
 	sys.Engine().ScheduleFunc(100, check)
-	if _, err := sys.Run(program.NewSSSP(g.LargestOutDegreeVertex())); err != nil {
+	if _, err := sys.Run(context.Background(), program.NewSSSP(g.LargestOutDegreeVertex())); err != nil {
 		t.Fatal(err)
 	}
 	if checks < 10 {
@@ -117,7 +118,7 @@ func TestFIFOStaleRetrievals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(program.NewCC())
+	res, err := sys.Run(context.Background(), program.NewCC())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestMSHRMergesSecondaryMisses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(program.NewSSSP(501))
+	res, err := sys.Run(context.Background(), program.NewSSSP(501))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestOnChipBytesMatchesEquation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(program.NewBFS(g.LargestOutDegreeVertex()))
+	res, err := sys.Run(context.Background(), program.NewBFS(g.LargestOutDegreeVertex()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestEventBudgetExhaustion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(program.NewBFS(g.LargestOutDegreeVertex())); err == nil {
+	if _, err := sys.Run(context.Background(), program.NewBFS(g.LargestOutDegreeVertex())); err == nil {
 		t.Fatal("tiny event budget did not abort the run")
 	}
 }
@@ -247,7 +248,7 @@ func TestBSPWithFIFOSpill(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Run(program.NewPageRank(0.85, 3))
+	res, err := sys.Run(context.Background(), program.NewPageRank(0.85, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestLoadImbalanceAccounting(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := sys.Run(program.NewBFS(root))
+		res, err := sys.Run(context.Background(), program.NewBFS(root))
 		if err != nil {
 			t.Fatal(err)
 		}

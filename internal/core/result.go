@@ -63,6 +63,12 @@ type Result struct {
 	// spatial-mapping comparison of Fig. 9b turns on.
 	PEEdges []int64
 
+	// Partial marks a salvaged result: the run stopped early (cancelled,
+	// deadline, budget, or watchdog stall) and the stats cover only the
+	// work completed before the stop. StopReason classifies the cause.
+	Partial    bool
+	StopReason sim.StopReason
+
 	// Dump is the full hierarchical statistics dump for the run.
 	Dump *stats.Dump
 }

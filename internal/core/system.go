@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 
 	"nova/graph"
 	"nova/internal/mem"
@@ -381,7 +383,16 @@ func (s *System) runToQuiescence(budget uint64) error {
 
 // Run executes the program to completion and returns the result. A System
 // can run only once.
-func (s *System) Run(p program.Program) (*Result, error) {
+//
+// ctx cancellation is observed cooperatively: each shard polls an
+// interrupt every cfg.PollEvents executed events and the cluster checks it
+// at every window barrier, so the run stops within one poll interval. A
+// wall-clock watchdog (cfg.StallTimeout) additionally trips the interrupt
+// when no progress happens at all. On any cooperative stop — cancellation,
+// deadline, event-budget exhaustion, or watchdog trip — Run salvages the
+// statistics accumulated so far and returns BOTH a Result marked Partial
+// (with its StopReason) and the error.
+func (s *System) Run(ctx context.Context, p program.Program) (*Result, error) {
 	if s.ran {
 		return nil, errors.New("core: System.Run called twice; build a fresh System per run")
 	}
@@ -390,6 +401,21 @@ func (s *System) Run(p program.Program) (*Result, error) {
 		return nil, errors.New("core: tracing requires Shards = 1 (the trace buffer is not sharded)")
 	}
 	defer s.cluster.Close()
+
+	intr := sim.NewInterrupt()
+	s.cluster.SetInterrupt(intr, s.cfg.PollEvents)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stopWatch := sim.WatchContext(ctx, intr)
+	defer stopWatch()
+	stall := s.cfg.StallTimeout
+	if stall == 0 {
+		stall = DefaultStallTimeout
+	}
+	stopDog := sim.StartWatchdog(intr, stall)
+	defer stopDog()
+
 	s.prog = p
 	if bp, ok := p.(program.BSPProgram); ok && p.Mode() == program.BSP {
 		s.bsp = bp
@@ -414,19 +440,45 @@ func (s *System) Run(p program.Program) (*Result, error) {
 	} else {
 		err = s.runAsync(budget)
 	}
-	if err != nil {
+	reason := sim.ReasonFor(err)
+	if err != nil && reason == "" {
+		// Non-cooperative failure (deadlock, model bug): nothing to salvage.
 		return nil, err
+	}
+	if errors.Is(err, sim.ErrStalled) {
+		err = fmt.Errorf("%w\n%s", err, s.stallSnapshot())
 	}
 	s.fabric.Finalize()
 	// Collect first: the dump's root formulas read s.result.
 	s.result = s.collectResult()
+	s.result.Partial = reason != ""
+	s.result.StopReason = reason
 	s.result.Dump = s.stats.Dump(map[string]string{
 		"engine":  "nova",
 		"program": p.Name(),
 		"graph":   s.g.Name,
 		"shards":  strconv.Itoa(s.workers),
 	})
-	return s.result, nil
+	return s.result, err
+}
+
+// stallSnapshot renders the watchdog's diagnostic: machine time, executed
+// events, remaining work, and each shard's position. Built single-threaded
+// after the cluster stops, so it reads shard state race-free.
+func (s *System) stallSnapshot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall snapshot: tick=%d executed=%d active=%d drains=%d epochs=%d",
+		s.now(), s.executed(), s.totalActive(), s.drains, s.epochs)
+	for i, e := range s.engines {
+		b.WriteString("\n  ")
+		fmt.Fprintf(&b, "shard %d: now=%d executed=%d pending=%d", i, e.Now(), e.Executed(), e.Pending())
+		if head, ok := e.NextWhen(); ok {
+			fmt.Fprintf(&b, " head=%d", head)
+		} else {
+			b.WriteString(" head=<empty>")
+		}
+	}
+	return b.String()
 }
 
 // scheduleInjects splits a vertex batch by owner shard and schedules each

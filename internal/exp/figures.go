@@ -38,11 +38,11 @@ func Fig1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		mult := mult
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("fig1/x%d", mult),
-			Run: func(context.Context) ([]string, error) {
+			Run: func(ctx context.Context) ([]string, error) {
 				n := base * mult
 				g := graph.GenUniform(fmt.Sprintf("urand-%d", n), n, 16, 64, int64(100+mult))
 				w := harness.Workload{Name: "bfs", G: g, Root: g.LargestOutDegreeVertex()}
-				novaRep, pgRep, err := novaPG(s, w)
+				novaRep, pgRep, err := novaPG(ctx, s, w)
 				if err != nil {
 					return nil, err
 				}
@@ -81,8 +81,8 @@ func Fig2(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		slices := slices
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("fig2/slices=%d", slices),
-			Run: func(context.Context) ([]string, error) {
-				rep, err := PGEngineSlices(s, slices).RunWorkload(cell(s, d, "bfs", 0))
+			Run: func(ctx context.Context) ([]string, error) {
+				rep, err := PGEngineSlices(s, slices).RunWorkload(ctx, cell(s, d, "bfs", 0))
 				if err != nil {
 					return nil, err
 				}
@@ -115,16 +115,16 @@ func Fig4(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 			d, w := d, w
 			jobs = append(jobs, rowJob{
 				Name: fmt.Sprintf("fig4/%s/%s", d.Name, w),
-				Run: func(context.Context) ([]string, error) {
+				Run: func(ctx context.Context) ([]string, error) {
 					wl := cell(s, d, w, 10)
-					novaRep, pgRep, err := novaPG(s, wl)
+					novaRep, pgRep, err := novaPG(ctx, s, wl)
 					if err != nil {
 						return nil, fmt.Errorf("%s/%s: %w", d.Name, w, err)
 					}
 					if wl.GT == nil {
 						wl.GT = d.Transpose() // cached; spares ligra a rebuild
 					}
-					swRep, err := LigraEngine().RunWorkload(wl)
+					swRep, err := LigraEngine().RunWorkload(ctx, wl)
 					if err != nil {
 						return nil, fmt.Errorf("ligra %s/%s: %w", d.Name, w, err)
 					}
@@ -158,8 +158,8 @@ func Fig5(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		d := d
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("fig5/%s", d.Name),
-			Run: func(context.Context) ([]string, error) {
-				novaRep, pgRep, err := novaPG(s, cell(s, d, "bfs", 0))
+			Run: func(ctx context.Context) ([]string, error) {
+				novaRep, pgRep, err := novaPG(ctx, s, cell(s, d, "bfs", 0))
 				if err != nil {
 					return nil, err
 				}
@@ -203,8 +203,8 @@ func Fig6(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 			d, w := d, w
 			jobs = append(jobs, rowJob{
 				Name: fmt.Sprintf("fig6/%s/%s", d.Name, w),
-				Run: func(context.Context) ([]string, error) {
-					novaRep, pgRep, err := novaPG(s, cell(s, d, w, 10))
+				Run: func(ctx context.Context) ([]string, error) {
+					novaRep, pgRep, err := novaPG(ctx, s, cell(s, d, w, 10))
 					if err != nil {
 						return nil, err
 					}
@@ -254,12 +254,12 @@ func Fig7(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				d, w, gpns := d, w, gpns
 				jobs = append(jobs, harness.Job[*harness.Report]{
 					Name: fmt.Sprintf("fig7/%s/%s/gpns=%d", d.Name, w, gpns),
-					Run: func(context.Context) (*harness.Report, error) {
+					Run: func(ctx context.Context) (*harness.Report, error) {
 						eng, err := NovaEngine(s, gpns)
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(s, d, w, 0))
+						return eng.RunWorkload(ctx, cell(s, d, w, 0))
 					},
 				})
 			}
@@ -302,12 +302,12 @@ func Fig8(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		g, gpns := graphs[i], gpns
 		jobs = append(jobs, harness.Job[*harness.Report]{
 			Name: fmt.Sprintf("fig8/gpns=%d", gpns),
-			Run: func(context.Context) (*harness.Report, error) {
+			Run: func(ctx context.Context) (*harness.Report, error) {
 				eng, err := NovaEngine(s, gpns)
 				if err != nil {
 					return nil, err
 				}
-				return eng.RunWorkload(harness.Workload{Name: "bfs", G: g, Root: g.LargestOutDegreeVertex()})
+				return eng.RunWorkload(ctx, harness.Workload{Name: "bfs", G: g, Root: g.LargestOutDegreeVertex()})
 			},
 		})
 	}
@@ -347,14 +347,14 @@ func Fig9a(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				d, w, mult := d, w, mult
 				jobs = append(jobs, harness.Job[*harness.Report]{
 					Name: fmt.Sprintf("fig9a/%s/%s/x%d", d.Name, w, mult),
-					Run: func(context.Context) (*harness.Report, error) {
+					Run: func(ctx context.Context) (*harness.Report, error) {
 						cfg := NOVAConfig(s, 1)
 						cfg.CacheBytesPerPE = baseCache * mult
 						eng, err := NovaEngineWith(cfg)
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(s, d, w, 10))
+						return eng.RunWorkload(ctx, cell(s, d, w, 10))
 					},
 				})
 			}
@@ -403,14 +403,14 @@ func Fig9b(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				d, w, mapping := d, w, mapping
 				jobs = append(jobs, harness.Job[*harness.Report]{
 					Name: fmt.Sprintf("fig9b/%s/%s/%s", d.Name, w, mapping),
-					Run: func(context.Context) (*harness.Report, error) {
+					Run: func(ctx context.Context) (*harness.Report, error) {
 						cfg := NOVAConfig(s, gpns)
 						cfg.Mapping = mapping
 						eng, err := NovaEngineWith(cfg)
 						if err != nil {
 							return nil, err
 						}
-						return eng.RunWorkload(cell(s, d, w, 10))
+						return eng.RunWorkload(ctx, cell(s, d, w, 10))
 					},
 				})
 			}
@@ -454,7 +454,7 @@ func Fig9c(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 			d, w := d, w
 			jobs = append(jobs, rowJob{
 				Name: fmt.Sprintf("fig9c/%s/%s", d.Name, w),
-				Run: func(context.Context) ([]string, error) {
+				Run: func(ctx context.Context) ([]string, error) {
 					var times [2]float64
 					for i, fabric := range []string{"hierarchical", "ideal"} {
 						cfg := NOVAConfig(s, gpns)
@@ -463,7 +463,7 @@ func Fig9c(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 						if err != nil {
 							return nil, err
 						}
-						rep, err := eng.RunWorkload(cell(s, d, w, 10))
+						rep, err := eng.RunWorkload(ctx, cell(s, d, w, 10))
 						if err != nil {
 							return nil, err
 						}
@@ -502,14 +502,14 @@ func Fig10(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				d, w, dim := d, w, dim
 				jobs = append(jobs, rowJob{
 					Name: fmt.Sprintf("fig10/%s/%s/dim=%d", d.Name, w, dim),
-					Run: func(context.Context) ([]string, error) {
+					Run: func(ctx context.Context) ([]string, error) {
 						cfg := NOVAConfig(s, 1)
 						cfg.SuperblockDim = dim
 						eng, err := NovaEngineWith(cfg)
 						if err != nil {
 							return nil, err
 						}
-						rep, err := eng.RunWorkload(cell(s, d, w, 10))
+						rep, err := eng.RunWorkload(ctx, cell(s, d, w, 10))
 						if err != nil {
 							return nil, err
 						}

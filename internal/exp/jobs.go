@@ -56,15 +56,15 @@ func cell(s Scale, d *Dataset, w string, prIters int) harness.Workload {
 
 // novaPG runs one cell on a fresh scaled NOVA engine and on the PolyGraph
 // baseline — the comparison nearly every figure is built from.
-func novaPG(s Scale, w harness.Workload) (novaRep, pgRep *harness.Report, err error) {
+func novaPG(ctx context.Context, s Scale, w harness.Workload) (novaRep, pgRep *harness.Report, err error) {
 	ne, err := NovaEngine(s, 1)
 	if err != nil {
 		return nil, nil, err
 	}
-	if novaRep, err = ne.RunWorkload(w); err != nil {
+	if novaRep, err = ne.RunWorkload(ctx, w); err != nil {
 		return nil, nil, err
 	}
-	if pgRep, err = PGEngine(s).RunWorkload(w); err != nil {
+	if pgRep, err = PGEngine(s).RunWorkload(ctx, w); err != nil {
 		return nil, nil, err
 	}
 	return novaRep, pgRep, nil

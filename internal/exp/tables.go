@@ -28,7 +28,7 @@ func Tab1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 		policy := policy
 		jobs = append(jobs, rowJob{
 			Name: fmt.Sprintf("tab1/%s", policy),
-			Run: func(context.Context) ([]string, error) {
+			Run: func(ctx context.Context) ([]string, error) {
 				cfg := NOVAConfig(s, 1)
 				cfg.Spill = policy
 				cfg.ActiveBufferEntries = 8
@@ -36,7 +36,7 @@ func Tab1(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				rep, err := eng.RunWorkload(cell(s, d, "sssp", 0))
+				rep, err := eng.RunWorkload(ctx, cell(s, d, "sssp", 0))
 				if err != nil {
 					return nil, err
 				}

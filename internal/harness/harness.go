@@ -9,6 +9,8 @@
 package harness
 
 import (
+	"context"
+
 	"nova/graph"
 	"nova/internal/stats"
 	"nova/program"
@@ -34,6 +36,10 @@ type Workload struct {
 	// It is carried verbatim into the Report so artifacts from different
 	// tiers never get compared against each other.
 	Tier string
+	// MaxEvents overrides the engine's event budget for this cell (0 =
+	// the engine default). Only simulated backends with an event budget
+	// honor it; the chaos harness uses it to force budget exhaustion.
+	MaxEvents uint64
 }
 
 // Engine is the unified view of an execution backend. Implementations
@@ -45,8 +51,12 @@ type Engine interface {
 	// Fingerprint is a stable, human-readable rendering of the engine's
 	// configuration, so two reports are comparable iff fingerprints match.
 	Fingerprint() string
-	// RunWorkload executes one cell and returns the unified report.
-	RunWorkload(w Workload) (*Report, error)
+	// RunWorkload executes one cell and returns the unified report. ctx
+	// cancellation must stop the underlying simulation cooperatively
+	// (within one poll interval); on a cooperative stop implementations
+	// return BOTH a partial report (Partial set, with its StopReason) and
+	// the error, so sweeps can render partial cells.
+	RunWorkload(ctx context.Context, w Workload) (*Report, error)
 }
 
 // Report is the engine-agnostic outcome of one run. Backend-specific
@@ -85,6 +95,11 @@ type Report struct {
 	Shards             int
 	WindowWallSeconds  float64
 	BarrierWallSeconds float64
+	// Partial marks a salvaged report: the run stopped early and the
+	// stats cover only the work completed before the stop. StopReason
+	// classifies why ("cancelled", "deadline", "budget", "stalled").
+	Partial    bool
+	StopReason string
 }
 
 // Metric returns a metrics-bag entry, or 0 when absent.

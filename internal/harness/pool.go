@@ -2,6 +2,7 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -58,10 +59,24 @@ type Pool struct {
 	Workers int
 	// JobTimeout is the default per-job timeout (0 = unbounded).
 	JobTimeout time.Duration
+	// AbandonGrace is how long a timed-out or cancelled job is given to
+	// observe its context and return (typically with a salvaged partial
+	// result) before the worker abandons it and fabricates the error
+	// itself (0 = DefaultAbandonGrace; negative = abandon immediately).
+	// The simulation engines poll their context cooperatively, so a
+	// healthy job returns well within the default grace; only a job stuck
+	// outside the simulator (or ignoring ctx) is ever abandoned.
+	AbandonGrace time.Duration
 	// OnDone, when non-nil, is called serially as each job completes —
 	// the hook for progress lines.
 	OnDone func(Event)
 }
+
+// DefaultAbandonGrace bounds how long runJob waits for a cancelled job to
+// wind down before abandoning its goroutine. Cooperative engines stop
+// within one poll interval (microseconds to milliseconds), so one second
+// is already generous.
+const DefaultAbandonGrace = time.Second
 
 func (p *Pool) workers(jobs int) int {
 	w := p.Workers
@@ -79,10 +94,10 @@ func (p *Pool) workers(jobs int) int {
 
 // Map runs every job and returns one result per job, in submission order.
 // A nil pool behaves like the zero Pool. Cancellation of ctx stops
-// dispatching new jobs; already-running jobs finish and report their own
-// results (their private simulators do not observe ctx) while
-// undispatched jobs report ctx.Err(). A panicking job fails its own cell
-// only.
+// dispatching new jobs; already-running jobs observe the cancellation
+// through their job context (the engines poll it cooperatively) and
+// report their own — possibly partial — results, while undispatched jobs
+// report ctx.Err(). A panicking job fails its own cell only.
 func Map[T any](ctx context.Context, p *Pool, jobs []Job[T]) []Result[T] {
 	if p == nil {
 		p = &Pool{}
@@ -107,7 +122,7 @@ func Map[T any](ctx context.Context, p *Pool, jobs []Job[T]) []Result[T] {
 				if timeout == 0 {
 					timeout = p.JobTimeout
 				}
-				results[i] = runJob(ctx, jobs[i], timeout)
+				results[i] = runJob(ctx, jobs[i], timeout, p.AbandonGrace)
 				mu.Lock()
 				done++
 				if p.OnDone != nil {
@@ -142,14 +157,16 @@ dispatch:
 	return results
 }
 
-// runJob executes one job with panic capture and an optional timeout. A
-// started job always reports its own result even if the sweep is
-// cancelled while it runs — cancellation only stops dispatch. A timeout,
-// by contrast, abandons the job: it runs on its own goroutine so the
-// worker can move on, and a timed-out simulation keeps running in the
-// background until it finishes (the discrete-event engines do not poll
-// ctx), but its result is discarded.
-func runJob[T any](ctx context.Context, job Job[T], timeout time.Duration) Result[T] {
+// runJob executes one job with panic capture and an optional timeout. The
+// discrete-event engines poll their context cooperatively, so a timed-out
+// or cancelled job normally observes jctx within one poll interval and
+// returns its own result — typically a salvaged partial report alongside
+// the context error. Only when the job also blows through the abandon
+// grace (it is stuck outside the simulator, or ignores ctx entirely) does
+// the worker give up on it and fabricate the error; the leaked goroutine
+// then exits as soon as the job function eventually returns, since the
+// result channel is buffered.
+func runJob[T any](ctx context.Context, job Job[T], timeout, grace time.Duration) Result[T] {
 	if err := ctx.Err(); err != nil {
 		return Result[T]{Name: job.Name, Err: fmt.Errorf("harness: job %q: %w", job.Name, err)}
 	}
@@ -164,6 +181,13 @@ func runJob[T any](ctx context.Context, job Job[T], timeout time.Duration) Resul
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
+				// Keep %w for error payloads so typed injected faults
+				// (chaos) stay matchable through the capture.
+				if perr, ok := r.(error); ok {
+					ch <- Result[T]{Name: job.Name,
+						Err: fmt.Errorf("harness: job %q panicked: %w\n%s", job.Name, perr, debug.Stack())}
+					return
+				}
 				ch <- Result[T]{Name: job.Name,
 					Err: fmt.Errorf("harness: job %q panicked: %v\n%s", job.Name, r, debug.Stack())}
 			}
@@ -175,24 +199,32 @@ func runJob[T any](ctx context.Context, job Job[T], timeout time.Duration) Resul
 		ch <- Result[T]{Name: job.Name, Value: v, Err: err}
 	}()
 	if timeout > 0 {
-		timer := time.NewTimer(timeout)
-		defer timer.Stop()
 		select {
 		case r := <-ch:
 			r.Elapsed = time.Since(start)
 			return r
-		case <-timer.C:
-			// One last non-blocking look: the job may have finished in
-			// the same instant the timer fired.
-			select {
-			case r := <-ch:
-				r.Elapsed = time.Since(start)
-				return r
-			default:
+		case <-jctx.Done():
+			if grace == 0 {
+				grace = DefaultAbandonGrace
 			}
-			return Result[T]{Name: job.Name, Elapsed: time.Since(start),
-				Err: fmt.Errorf("harness: job %q timed out after %v: %w",
-					job.Name, timeout, context.DeadlineExceeded)}
+			if grace > 0 {
+				timer := time.NewTimer(grace)
+				defer timer.Stop()
+				select {
+				case r := <-ch:
+					// The job wound down cooperatively; keep its own
+					// (possibly partial) result.
+					r.Elapsed = time.Since(start)
+					return r
+				case <-timer.C:
+				}
+			}
+			cause := jctx.Err()
+			err := fmt.Errorf("harness: job %q: %w", job.Name, cause)
+			if errors.Is(cause, context.DeadlineExceeded) {
+				err = fmt.Errorf("harness: job %q timed out after %v: %w", job.Name, timeout, cause)
+			}
+			return Result[T]{Name: job.Name, Elapsed: time.Since(start), Err: err}
 		}
 	}
 	r := <-ch

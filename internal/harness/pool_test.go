@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -104,6 +105,8 @@ func TestMapCancellationMidSweep(t *testing.T) {
 }
 
 func TestMapPerJobTimeout(t *testing.T) {
+	// The slow job ignores ctx entirely, so the worker must abandon it;
+	// negative grace abandons immediately to keep the test fast.
 	block := make(chan struct{})
 	defer close(block)
 	jobs := []Job[int]{
@@ -114,7 +117,7 @@ func TestMapPerJobTimeout(t *testing.T) {
 		intJob("fast", func(context.Context) (int, error) { return 42, nil }),
 	}
 	start := time.Now()
-	results := Map(context.Background(), &Pool{Workers: 1}, jobs)
+	results := Map(context.Background(), &Pool{Workers: 1, AbandonGrace: -1}, jobs)
 	if results[0].Err == nil || !errors.Is(results[0].Err, context.DeadlineExceeded) {
 		t.Fatalf("slow job should time out: %v", results[0].Err)
 	}
@@ -130,13 +133,61 @@ func TestMapPerJobTimeout(t *testing.T) {
 func TestMapPoolDefaultTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block)
-	p := &Pool{Workers: 1, JobTimeout: 10 * time.Millisecond}
+	p := &Pool{Workers: 1, JobTimeout: 10 * time.Millisecond, AbandonGrace: -1}
 	results := Map(context.Background(), p, []Job[int]{
 		intJob("hung", func(context.Context) (int, error) { <-block; return 0, nil }),
 	})
 	if !errors.Is(results[0].Err, context.DeadlineExceeded) {
 		t.Fatalf("pool default timeout not applied: %v", results[0].Err)
 	}
+}
+
+func TestMapTimeoutKeepsCooperativeResult(t *testing.T) {
+	// A job that observes ctx and returns within the grace keeps its own
+	// partial value and error instead of the fabricated timeout error.
+	sentinel := errors.New("stopped cooperatively")
+	jobs := []Job[int]{
+		{Name: "coop", Timeout: 10 * time.Millisecond, Run: func(ctx context.Context) (int, error) {
+			<-ctx.Done()
+			return 99, sentinel
+		}},
+	}
+	results := Map(context.Background(), &Pool{Workers: 1}, jobs)
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Fatalf("cooperative result replaced: %v", results[0].Err)
+	}
+	if results[0].Value != 99 {
+		t.Fatalf("partial value discarded: %d", results[0].Value)
+	}
+}
+
+func TestMapTimedOutJobDoesNotLeakGoroutine(t *testing.T) {
+	// Regression for the documented leak: before ctx threading, a
+	// timed-out simulation kept running until quiescence. Now the job
+	// observes its context, so its goroutine must exit promptly.
+	before := runtime.NumGoroutine()
+	jobs := make([]Job[int], 8)
+	for i := range jobs {
+		jobs[i] = Job[int]{Name: fmt.Sprint(i), Timeout: 5 * time.Millisecond,
+			Run: func(ctx context.Context) (int, error) {
+				<-ctx.Done() // a cooperative engine stops within one poll
+				return 0, ctx.Err()
+			}}
+	}
+	results := Map(context.Background(), &Pool{Workers: 4}, jobs)
+	for i, r := range results {
+		if !errors.Is(r.Err, context.DeadlineExceeded) {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after timed-out jobs", before, runtime.NumGoroutine())
 }
 
 func TestMapProgressEvents(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nova/graph"
+	"nova/internal/sim"
 	"nova/internal/stats"
 )
 
@@ -92,6 +93,12 @@ type Engine struct {
 	// EdgesTraversed counts update attempts across the run.
 	EdgesTraversed int64
 
+	// Interrupt, when non-nil, is polled between edgeMap iterations: a
+	// tripped interrupt makes the kernel return early with whatever
+	// distances/ranks it has computed so far (a partial result). Kernels
+	// pulse it each iteration so a stall watchdog sees progress.
+	Interrupt *sim.Interrupt
+
 	// dedupSeen/dedupGen implement generation-stamped duplicate removal
 	// for sparse frontiers: one word per vertex, no clearing between
 	// iterations. Like EdgesTraversed, this makes an Engine single-run
@@ -109,6 +116,16 @@ type Engine struct {
 // NewEngine returns an engine using all available cores.
 func NewEngine() *Engine {
 	return &Engine{Threads: runtime.GOMAXPROCS(0), Threshold: 20}
+}
+
+// stopped reports whether the engine's interrupt has tripped, pulsing it
+// first so iteration boundaries count as progress beats for the watchdog.
+func (e *Engine) stopped() bool {
+	if e.Interrupt == nil {
+		return false
+	}
+	e.Interrupt.Pulse()
+	return e.Interrupt.Err() != nil
 }
 
 func (e *Engine) parallelFor(n int, body func(lo, hi int)) {
@@ -324,7 +341,7 @@ func (e *Engine) BFS(g, gT *graph.CSR, root graph.VertexID) ([]int64, Result) {
 	f := NewSparseFrontier(n, []graph.VertexID{root})
 	level := int64(0)
 	iters := 0
-	for !f.IsEmpty() {
+	for !f.IsEmpty() && !e.stopped() {
 		level++
 		iters++
 		lv := level
@@ -355,7 +372,7 @@ func (e *Engine) SSSP(g, gT *graph.CSR, root graph.VertexID) ([]int64, Result) {
 	dist[root] = 0
 	f := NewSparseFrontier(n, []graph.VertexID{root})
 	iters := 0
-	for !f.IsEmpty() && iters < 2*n {
+	for !f.IsEmpty() && iters < 2*n && !e.stopped() {
 		iters++
 		f = e.EdgeMap(g, nil, f, EdgeFuncs{ // push-only: pull breaks min-relaxation monotonicity bookkeeping
 			Update: func(s, d graph.VertexID, w uint32) bool {
@@ -414,7 +431,7 @@ func (e *Engine) CC(g *graph.CSR) ([]int64, Result) {
 	}
 	f := NewSparseFrontier(n, init)
 	iters := 0
-	for !f.IsEmpty() && iters < n {
+	for !f.IsEmpty() && iters < n && !e.stopped() {
 		iters++
 		f = e.EdgeMap(g, g, f, EdgeFuncs{
 			Update: func(s, d graph.VertexID, w uint32) bool {
@@ -437,7 +454,9 @@ func (e *Engine) PR(g, gT *graph.CSR, damping float64, iters int) ([]float64, Re
 	}
 	next := make([]float64, n)
 	var traversed int64
-	for it := 0; it < iters; it++ {
+	done := 0
+	for it := 0; it < iters && !e.stopped(); it++ {
+		done++
 		e.parallelFor(n, func(lo, hi int) {
 			var cnt int64
 			for d := lo; d < hi; d++ {
@@ -464,7 +483,9 @@ func (e *Engine) PR(g, gT *graph.CSR, damping float64, iters int) ([]float64, Re
 		})
 		rank, next = next, rank
 	}
-	return rank, Result{Seconds: time.Since(start).Seconds(), EdgesTraversed: traversed, Iterations: iters}
+	// done, not iters: an interrupted run reports the iterations that
+	// actually executed, so partial reports are honest about coverage.
+	return rank, Result{Seconds: time.Since(start).Seconds(), EdgesTraversed: traversed, Iterations: done}
 }
 
 // BC runs Brandes-style betweenness (forward σ pass + backward δ pass)
@@ -484,7 +505,7 @@ func (e *Engine) BC(g, gT *graph.CSR, root graph.VertexID) ([]float64, Result) {
 	f := NewSparseFrontier(n, []graph.VertexID{root})
 	level := int64(0)
 	var traversed int64
-	for !f.IsEmpty() {
+	for !f.IsEmpty() && !e.stopped() {
 		levels = append(levels, f.Vertices())
 		level++
 		lv := level
@@ -508,7 +529,7 @@ func (e *Engine) BC(g, gT *graph.CSR, root graph.VertexID) ([]float64, Result) {
 		f = NewSparseFrontier(n, nextVerts)
 	}
 	delta := make([]float64, n)
-	for l := len(levels) - 1; l >= 1; l-- {
+	for l := len(levels) - 1; l >= 1 && !e.stopped(); l-- {
 		for _, w := range levels[l] {
 			elo, ehi := gT.RowPtr[w], gT.RowPtr[w+1]
 			for i := elo; i < ehi; i++ {

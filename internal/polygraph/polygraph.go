@@ -16,10 +16,12 @@
 package polygraph
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"nova/graph"
+	"nova/internal/sim"
 	"nova/internal/stats"
 	"nova/program"
 )
@@ -137,6 +139,11 @@ type Result struct {
 	// EdgeBandwidthShare is the fraction of total memory traffic spent
 	// streaming edges (the paper reports 25–35% for large graphs).
 	EdgeBandwidthShare float64
+	// Partial marks a salvaged result: the run stopped early (cancelled,
+	// deadline, or round-budget exhaustion) and the stats cover only the
+	// work completed before the stop. StopReason classifies the cause.
+	Partial    bool
+	StopReason sim.StopReason
 
 	// Dump is the full hierarchical statistics dump for the run.
 	Dump *stats.Dump
@@ -144,6 +151,7 @@ type Result struct {
 
 type machine struct {
 	cfg     Config
+	ctx     context.Context
 	g       *graph.CSR
 	p       program.Program
 	bsp     program.BSPProgram
@@ -177,12 +185,20 @@ type machine struct {
 	result     *Result
 }
 
-// Run executes p on g under the PolyGraph model.
-func Run(cfg Config, g *graph.CSR, p program.Program) (*Result, error) {
+// Run executes p on g under the PolyGraph model. ctx cancellation is
+// polled at every round, slice activation, and epoch, so the model stops
+// within one slice pass. On a cooperative stop (cancellation, deadline, or
+// round-budget exhaustion) Run salvages the statistics accumulated so far
+// and returns BOTH a Result marked Partial (with its StopReason) and the
+// error.
+func Run(ctx context.Context, cfg Config, g *graph.CSR, p program.Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &machine{cfg: cfg, g: g, p: p}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m := &machine{cfg: cfg, ctx: ctx, g: g, p: p}
 	if bp, ok := p.(program.BSPProgram); ok && p.Mode() == program.BSP {
 		m.bsp = bp
 	} else if p.Mode() == program.BSP {
@@ -198,10 +214,14 @@ func Run(cfg Config, g *graph.CSR, p program.Program) (*Result, error) {
 	} else {
 		err = m.runAsync()
 	}
-	if err != nil {
+	reason := sim.ReasonFor(err)
+	if err != nil && reason == "" {
 		return nil, err
 	}
-	return m.collect(), nil
+	r := m.collect()
+	r.Partial = reason != ""
+	r.StopReason = reason
+	return r, err
 }
 
 func (m *machine) setup() {
@@ -384,6 +404,9 @@ func (m *machine) runAsync() error {
 	}
 
 	for round := 0; round < m.maxRounds(); round++ {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
 		anyPending := false
 		for s := 0; s < m.slices && !anyPending; s++ {
 			anyPending = len(pending[s]) > 0
@@ -392,6 +415,11 @@ func (m *machine) runAsync() error {
 			return nil
 		}
 		for s := 0; s < m.slices; s++ {
+			// Cancellation is polled per slice activation, bounding the
+			// stop latency to one slice pass.
+			if err := m.ctx.Err(); err != nil {
+				return err
+			}
 			// Temporal multiplexing rotates the scratchpad through the
 			// slices: every visit pays the full slice-I/O and
 			// replicated-vertex synchronization, however little work
@@ -453,7 +481,7 @@ func (m *machine) runAsync() error {
 			m.chargePass(s, passEdges, msgIO)
 		}
 	}
-	return errors.New("polygraph: round budget exhausted (non-monotone program?)")
+	return fmt.Errorf("%w: polygraph round budget exhausted (non-monotone program?)", sim.ErrMaxEvents)
 }
 
 // selfSeed marks worklist seeds that are activations, not real messages.
@@ -506,6 +534,9 @@ func (m *machine) runBSP() error {
 	bySlice := make([][]graph.VertexID, m.slices)
 
 	for epoch := 0; len(active) > 0; epoch++ {
+		if err := m.ctx.Err(); err != nil {
+			return err
+		}
 		if mx := m.bsp.MaxEpochs(); mx > 0 && epoch >= mx {
 			break
 		}
@@ -519,6 +550,9 @@ func (m *machine) runBSP() error {
 			verts := bySlice[s]
 			if len(verts) == 0 {
 				continue
+			}
+			if err := m.ctx.Err(); err != nil {
+				return err
 			}
 			m.chargeSwitch(s)
 			var passEdges, msgIO int64

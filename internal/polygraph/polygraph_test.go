@@ -1,6 +1,7 @@
 package polygraph
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -71,7 +72,7 @@ func TestPGBFSMatchesOracle(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randGraph(seed, 200, 1000)
 		root := g.LargestOutDegreeVertex()
-		res, err := Run(testConfig(4), g, program.NewBFS(root))
+		res, err := Run(context.Background(), testConfig(4), g, program.NewBFS(root))
 		if err != nil {
 			return false
 		}
@@ -93,7 +94,7 @@ func TestPGSSSPMatchesOracle(t *testing.T) {
 	f := func(seed int64) bool {
 		g := randGraph(seed, 150, 900)
 		root := g.LargestOutDegreeVertex()
-		res, err := Run(testConfig(3), g, program.NewSSSP(root))
+		res, err := Run(context.Background(), testConfig(3), g, program.NewSSSP(root))
 		if err != nil {
 			return false
 		}
@@ -113,7 +114,7 @@ func TestPGSSSPMatchesOracle(t *testing.T) {
 
 func TestPGCCMatchesOracle(t *testing.T) {
 	g := randGraph(3, 200, 600).Symmetrize()
-	res, err := Run(testConfig(5), g, program.NewCC())
+	res, err := Run(context.Background(), testConfig(5), g, program.NewCC())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestPGCCMatchesOracle(t *testing.T) {
 
 func TestPGPageRankMatchesOracle(t *testing.T) {
 	g := graph.GenRMAT("r", 9, 8, graph.DefaultRMAT, 1, 5)
-	res, err := Run(testConfig(4), g, program.NewPageRank(0.85, 5))
+	res, err := Run(context.Background(), testConfig(4), g, program.NewPageRank(0.85, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestPGPageRankMatchesOracle(t *testing.T) {
 type pgRunner struct{ cfg Config }
 
 func (r pgRunner) RunProgram(p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
-	res, err := Run(r.cfg, g, p)
+	res, err := Run(context.Background(), r.cfg, g, p)
 	if err != nil {
 		return nil, program.RunStats{}, err
 	}
@@ -171,7 +172,7 @@ func TestPGBCMatchesBrandes(t *testing.T) {
 
 func TestNonSlicedHasNoSwitching(t *testing.T) {
 	g := randGraph(5, 300, 2000)
-	res, err := Run(testConfig(1), g, program.NewBFS(g.LargestOutDegreeVertex()))
+	res, err := Run(context.Background(), testConfig(1), g, program.NewBFS(g.LargestOutDegreeVertex()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestOverheadGrowsWithSliceCount(t *testing.T) {
 	g := graph.GenRMAT("r", 12, 12, graph.DefaultRMAT, 1, 7)
 	root := g.LargestOutDegreeVertex()
 	overheadShare := func(slices int) float64 {
-		res, err := Run(testConfig(slices), g, program.NewBFS(root))
+		res, err := Run(context.Background(), testConfig(slices), g, program.NewBFS(root))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,7 +211,7 @@ func TestEdgeBandwidthShareShrinksWithSlices(t *testing.T) {
 	g := graph.GenRMAT("r", 12, 12, graph.DefaultRMAT, 1, 7)
 	root := g.LargestOutDegreeVertex()
 	run := func(slices int) *Result {
-		res, err := Run(testConfig(slices), g, program.NewBFS(root))
+		res, err := Run(context.Background(), testConfig(slices), g, program.NewBFS(root))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func TestMultiRoundInefficiency(t *testing.T) {
 		edges = append(edges, graph.Edge{Src: graph.VertexID(i + 1), Dst: graph.VertexID(i), Weight: 1})
 	}
 	g := graph.FromEdges("path", n, edges)
-	res, err := Run(testConfig(8), g, program.NewBFS(0))
+	res, err := Run(context.Background(), testConfig(8), g, program.NewBFS(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Fatal("zero bandwidth validated")
 	}
-	if _, err := Run(bad, randGraph(1, 10, 10), program.NewBFS(0)); err == nil {
+	if _, err := Run(context.Background(), bad, randGraph(1, 10, 10), program.NewBFS(0)); err == nil {
 		t.Fatal("Run accepted invalid config")
 	}
 }
@@ -261,7 +262,7 @@ func TestConfigValidate(t *testing.T) {
 func TestPGStatsSane(t *testing.T) {
 	g := randGraph(8, 300, 2400)
 	root := g.LargestOutDegreeVertex()
-	res, err := Run(testConfig(6), g, program.NewSSSP(root))
+	res, err := Run(context.Background(), testConfig(6), g, program.NewSSSP(root))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,12 @@ type Cluster struct {
 	// disjoint index sets, so no two goroutines write the same slot.
 	errs []error
 
+	// intr, when attached, is checked at every window barrier (and the
+	// top of the single-engine fast path) in addition to the per-engine
+	// event-stride polls, so short runs that never reach the poll stride
+	// still observe cancellation promptly.
+	intr *Interrupt
+
 	startOnce sync.Once
 	closeOnce sync.Once
 	work      []chan Ticks
@@ -93,6 +99,28 @@ func NewCluster(engines []*Engine, lookahead Ticks, workers int) (*Cluster, erro
 		budgets:   make([]uint64, len(engines)),
 		errs:      make([]error, len(engines)),
 	}, nil
+}
+
+// SetInterrupt attaches a cooperative-stop interrupt to the cluster and
+// every engine in it (each polling once per pollEvery executed events;
+// 0 selects DefaultPollEvents). The cluster additionally pulses and checks
+// the interrupt at every window barrier, which doubles as the liveness
+// heartbeat for stall watchdogs.
+func (c *Cluster) SetInterrupt(i *Interrupt, pollEvery uint64) {
+	c.intr = i
+	for _, e := range c.engines {
+		e.SetInterrupt(i, pollEvery)
+	}
+}
+
+// checkInterrupt pulses the attached interrupt and returns its trip cause,
+// if any. Called once per barrier/iteration on the coordinator goroutine.
+func (c *Cluster) checkInterrupt() error {
+	if c.intr == nil {
+		return nil
+	}
+	c.intr.Pulse()
+	return c.intr.Err()
 }
 
 // Lookahead returns the cluster's conservative lookahead in ticks.
@@ -144,6 +172,9 @@ func (c *Cluster) Run(budget uint64, exchange ExchangeFunc) error {
 	if len(c.engines) == 1 {
 		e := c.engines[0]
 		for {
+			if err := c.checkInterrupt(); err != nil {
+				return err
+			}
 			if err := e.Run(0, budget); err != nil {
 				return err
 			}
@@ -157,6 +188,9 @@ func (c *Cluster) Run(budget uint64, exchange ExchangeFunc) error {
 		}
 	}
 	for {
+		if err := c.checkInterrupt(); err != nil {
+			return err
+		}
 		w, ok := c.nextWindow()
 		if !ok {
 			// All queues empty: one final exchange may still inject

@@ -97,6 +97,12 @@ type Engine struct {
 	executed uint64
 	// stopErr, when set, aborts Run.
 	stopErr error
+	// intr, when attached, is polled every pollEvery executed events so
+	// external cancellation (context, watchdog, signal) can stop the loop
+	// without the hot path paying for an atomic load per event.
+	intr      *Interrupt
+	pollEvery uint64
+	sincePoll uint64
 }
 
 // initialQueueCap pre-sizes the queue so steady-state simulations never pay
@@ -143,6 +149,21 @@ func (e *Engine) Reset() {
 	e.seq = 0
 	e.executed = 0
 	e.stopErr = nil
+	e.sincePoll = 0
+}
+
+// SetInterrupt attaches a cooperative-stop interrupt polled once per
+// pollEvery executed events (0 selects DefaultPollEvents). Each poll
+// pulses the interrupt (feeding any watchdog) and, if it has tripped,
+// aborts Run with the trip cause. A nil interrupt detaches. Polling never
+// mutates simulation state, so attaching one cannot change results.
+func (e *Engine) SetInterrupt(i *Interrupt, pollEvery uint64) {
+	if pollEvery == 0 {
+		pollEvery = DefaultPollEvents
+	}
+	e.intr = i
+	e.pollEvery = pollEvery
+	e.sincePoll = 0
 }
 
 // --- event pool ---------------------------------------------------------
@@ -416,6 +437,16 @@ func (e *Engine) Run(horizon Ticks, maxEvents uint64) error {
 		}
 		if maxEvents > 0 && e.executed >= maxEvents {
 			return ErrMaxEvents
+		}
+		if e.intr != nil {
+			e.sincePoll++
+			if e.sincePoll >= e.pollEvery {
+				e.sincePoll = 0
+				e.intr.Pulse()
+				if err := e.intr.Err(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

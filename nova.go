@@ -13,13 +13,16 @@
 package nova
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"nova/graph"
 	"nova/internal/core"
 	"nova/internal/harness"
 	"nova/internal/ref"
+	"nova/internal/sim"
 	"nova/internal/stats"
 	"nova/internal/trace"
 	"nova/program"
@@ -52,6 +55,10 @@ type Config struct {
 	Seed int64
 	// MaxEvents bounds simulation length (0 = default budget).
 	MaxEvents uint64
+	// StallTimeout arms the wall-clock stall watchdog (0 = the core
+	// default, 30s; negative disables it). Excluded from the engine
+	// fingerprint: it cannot affect results, only when a stuck run aborts.
+	StallTimeout time.Duration
 	// Shards is the number of worker goroutines driving the per-GPN
 	// engine shards (0 or 1 = sequential). Clamped to GPNs; results are
 	// bit-identical at every setting.
@@ -92,6 +99,7 @@ func (c Config) coreConfig() (core.Config, error) {
 		}
 	}
 	cc.MaxEvents = c.MaxEvents
+	cc.StallTimeout = c.StallTimeout
 	cc.Shards = c.Shards
 	switch c.Spill {
 	case "", "overwrite":
@@ -193,6 +201,12 @@ type Report struct {
 	Windows            uint64
 	WindowWallSeconds  float64
 	BarrierWallSeconds float64
+	// Partial marks a salvaged report: the run stopped early (cancelled,
+	// deadline, budget, or watchdog stall) and the stats cover only the
+	// work completed before the stop. StopReason names the cause
+	// ("cancelled", "deadline", "budget", "stalled").
+	Partial    bool
+	StopReason string
 	// Dump is the full hierarchical statistics dump (per-PE, per-channel,
 	// per-link detail); the flat fields above are its root-level records.
 	Dump *stats.Dump
@@ -210,6 +224,17 @@ func (r *Report) GTEPS(g *graph.CSR) float64 {
 
 // Run executes p on g and returns a detailed report.
 func (a *Accelerator) Run(p program.Program, g *graph.CSR) (*Report, error) {
+	return a.RunContext(context.Background(), p, g)
+}
+
+// RunContext is Run under a context. Cancellation is observed
+// cooperatively (each engine shard polls every few thousand events, the
+// cluster at every window barrier), so the simulation stops within one
+// poll interval. On a cooperative stop — cancellation, deadline, event
+// budget, or watchdog stall — RunContext salvages the statistics so far
+// and returns BOTH a Report marked Partial (with its StopReason) and the
+// error.
+func (a *Accelerator) RunContext(ctx context.Context, p program.Program, g *graph.CSR) (*Report, error) {
 	cc, err := a.cfg.coreConfig()
 	if err != nil {
 		return nil, err
@@ -222,11 +247,11 @@ func (a *Accelerator) Run(p program.Program, g *graph.CSR) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := sys.Run(p)
-	if err != nil {
+	res, err := sys.Run(ctx, p)
+	if res == nil {
 		return nil, err
 	}
-	return reportFromCore(res), nil
+	return reportFromCore(res), err
 }
 
 func reportFromCore(res *core.Result) *Report {
@@ -255,6 +280,8 @@ func reportFromCore(res *core.Result) *Report {
 		Windows:            res.Windows,
 		WindowWallSeconds:  res.WindowWallSeconds,
 		BarrierWallSeconds: res.BarrierWallSeconds,
+		Partial:            res.Partial,
+		StopReason:         string(res.StopReason),
 		Dump:               res.Dump,
 	}
 }
@@ -277,7 +304,7 @@ func (a *Accelerator) RunTraced(p program.Program, g *graph.CSR, w io.Writer) (*
 	}
 	tr := trace.New(cc.ClockHz)
 	sys.SetTracer(tr)
-	res, err := sys.Run(p)
+	res, err := sys.Run(context.Background(), p)
 	if err != nil {
 		return nil, err
 	}
@@ -296,7 +323,32 @@ func (a *Accelerator) RunProgram(p program.Program, g *graph.CSR) ([]program.Pro
 	return rep.Props, rep.Stats, nil
 }
 
+// RunProgramContext is RunProgram under a context; on a cooperative stop
+// the error carries the stop cause and the partial props/stats are
+// returned alongside it.
+func (a *Accelerator) RunProgramContext(ctx context.Context, p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
+	rep, err := a.RunContext(ctx, p, g)
+	if rep == nil {
+		return nil, program.RunStats{}, err
+	}
+	return rep.Props, rep.Stats, err
+}
+
 var _ program.Runner = (*Accelerator)(nil)
+
+// ctxRunner binds a context to a context-aware program runner so the
+// two-phase workloads (program.RunBC takes a plain program.Runner) stay
+// cancellable between and within phases.
+type ctxRunner struct {
+	ctx   context.Context
+	inner interface {
+		RunProgramContext(ctx context.Context, p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error)
+	}
+}
+
+func (r ctxRunner) RunProgram(p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error) {
+	return r.inner.RunProgramContext(r.ctx, p, g)
+}
 
 // Engine returns the harness view of the accelerator. Each RunWorkload
 // call builds a private core.System, so the engine is safe for concurrent
@@ -332,10 +384,16 @@ func orDefault(s, def string) string {
 	return s
 }
 
-func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
+func (e novaEngine) RunWorkload(ctx context.Context, w harness.Workload) (*harness.Report, error) {
 	prIters := w.PRIters
 	if prIters <= 0 {
 		prIters = 10
+	}
+	acc := e.acc
+	if w.MaxEvents > 0 {
+		cfg := acc.cfg
+		cfg.MaxEvents = w.MaxEvents
+		acc = &Accelerator{cfg: cfg}
 	}
 	out := &harness.Report{
 		Engine:          e.Name(),
@@ -349,9 +407,15 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 		if gT == nil {
 			gT = w.G.Transpose()
 		}
-		scores, stats, err := program.RunBC(e.acc, w.G, gT, w.Root)
+		scores, stats, err := program.RunBC(ctxRunner{ctx, acc}, w.G, gT, w.Root)
 		if err != nil {
-			return nil, err
+			reason := sim.ReasonFor(err)
+			if reason == "" {
+				return nil, err
+			}
+			out.Scores, out.Stats = scores, stats
+			out.Partial, out.StopReason = true, string(reason)
+			return out, err
 		}
 		out.Scores, out.Stats = scores, stats
 		return out, nil
@@ -360,8 +424,8 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := e.acc.Run(p, w.G)
-	if err != nil {
+	rep, err := acc.RunContext(ctx, p, w.G)
+	if rep == nil {
 		return nil, err
 	}
 	out.Props, out.Stats = rep.Props, rep.Stats
@@ -370,7 +434,9 @@ func (e novaEngine) RunWorkload(w harness.Workload) (*harness.Report, error) {
 	out.Shards = rep.Shards
 	out.WindowWallSeconds = rep.WindowWallSeconds
 	out.BarrierWallSeconds = rep.BarrierWallSeconds
-	return out, nil
+	out.Partial = rep.Partial
+	out.StopReason = rep.StopReason
+	return out, err
 }
 
 var _ harness.Engine = novaEngine{}

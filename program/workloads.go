@@ -359,12 +359,20 @@ func BCSigmas(forwardProps []Prop) []uint64 {
 func RunBC(r Runner, g, gT *graph.CSR, root graph.VertexID) ([]float64, RunStats, error) {
 	fwdProps, fwdStats, err := r.RunProgram(NewBCForward(root), g)
 	if err != nil {
-		return nil, RunStats{}, err
+		// Context-aware runners return partial stats alongside the error;
+		// keep them so callers can salvage the work done before the stop.
+		return nil, fwdStats, err
 	}
 	back := NewBCBackward(fwdProps)
 	bwdProps, bwdStats, err := r.RunProgram(back, gT)
 	if err != nil {
-		return nil, RunStats{}, err
+		return nil, RunStats{
+			SimSeconds:        fwdStats.SimSeconds + bwdStats.SimSeconds,
+			EdgesTraversed:    fwdStats.EdgesTraversed + bwdStats.EdgesTraversed,
+			MessagesSent:      fwdStats.MessagesSent + bwdStats.MessagesSent,
+			MessagesCoalesced: fwdStats.MessagesCoalesced + bwdStats.MessagesCoalesced,
+			Epochs:            fwdStats.Epochs + bwdStats.Epochs,
+		}, err
 	}
 	scores := make([]float64, len(bwdProps))
 	for v, p := range bwdProps {

@@ -1,6 +1,8 @@
 package nova
 
 import (
+	"context"
+
 	"testing"
 
 	"nova/graph"
@@ -28,7 +30,7 @@ func TestTierThreadsThroughEngines(t *testing.T) {
 		(&Software{Threads: 1}).Engine(),
 	}
 	for _, e := range engines {
-		rep, err := e.RunWorkload(harness.Workload{Name: "bfs", G: g, Root: root, Tier: "large"})
+		rep, err := e.RunWorkload(context.Background(), harness.Workload{Name: "bfs", G: g, Root: root, Tier: "large"})
 		if err != nil {
 			t.Fatalf("%s: %v", e.Name(), err)
 		}
@@ -38,7 +40,7 @@ func TestTierThreadsThroughEngines(t *testing.T) {
 	}
 
 	// On the shrunken buffers the NOVA run must have spilled and recovered.
-	rep, err := acc.Engine().RunWorkload(harness.Workload{Name: "sssp", G: g, Root: root, Tier: "large"})
+	rep, err := acc.Engine().RunWorkload(context.Background(), harness.Workload{Name: "sssp", G: g, Root: root, Tier: "large"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package nova
 
 import (
+	"context"
 	"fmt"
 
 	"nova/graph"
 	"nova/internal/ref"
+	"nova/internal/sim"
 	"nova/program"
 )
 
@@ -35,6 +37,11 @@ type Outcome struct {
 	Props []program.Prop
 	// Scores holds BC dependency values.
 	Scores []float64
+	// Partial marks a salvaged outcome from a run that stopped early;
+	// StopReason classifies why ("cancelled", "deadline", "budget",
+	// "stalled"). Only RunWorkloadContext produces partial outcomes.
+	Partial    bool
+	StopReason string
 }
 
 // WorkEfficiency returns sequential edges / traversed edges.
@@ -83,8 +90,22 @@ func workloadProgram(name string, root graph.VertexID, prIters int) (program.Pro
 // program.Runner. The transpose gT is needed only for "bc"; "cc" expects a
 // symmetric graph. prIters configures PageRank (≤0 means 10).
 func RunWorkload(r program.Runner, name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*Outcome, error) {
+	return RunWorkloadContext(context.Background(), r, name, g, gT, root, prIters)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation. When
+// the runner is context-aware (it implements RunProgramContext, as the
+// NOVA accelerator and PolyGraph baseline do), a cancelled ctx stops the
+// simulation within one poll interval and the partial outcome comes back
+// alongside the error, with Partial and StopReason set.
+func RunWorkloadContext(ctx context.Context, r program.Runner, name string, g, gT *graph.CSR, root graph.VertexID, prIters int) (*Outcome, error) {
 	if prIters <= 0 {
 		prIters = 10
+	}
+	if cr, ok := r.(interface {
+		RunProgramContext(ctx context.Context, p program.Program, g *graph.CSR) ([]program.Prop, program.RunStats, error)
+	}); ok {
+		r = ctxRunner{ctx, cr}
 	}
 	o := &Outcome{
 		Workload:        name,
@@ -95,22 +116,32 @@ func RunWorkload(r program.Runner, name string, g, gT *graph.CSR, root graph.Ver
 			gT = g.Transpose()
 		}
 		scores, stats, err := program.RunBC(r, g, gT, root)
-		if err != nil {
-			return nil, err
-		}
 		o.Scores = scores
 		o.Stats = stats
-		return o, nil
+		return salvageOutcome(o, err)
 	}
 	p, err := workloadProgram(name, root, prIters)
 	if err != nil {
 		return nil, err
 	}
 	props, stats, err := r.RunProgram(p, g)
-	if err != nil {
-		return nil, err
-	}
 	o.Props = props
 	o.Stats = stats
-	return o, nil
+	return salvageOutcome(o, err)
+}
+
+// salvageOutcome classifies a run error: cooperative stops keep the
+// partial outcome (Partial set) alongside the error, anything else
+// discards it.
+func salvageOutcome(o *Outcome, err error) (*Outcome, error) {
+	if err == nil {
+		return o, nil
+	}
+	reason := sim.ReasonFor(err)
+	if reason == "" {
+		return nil, err
+	}
+	o.Partial = true
+	o.StopReason = string(reason)
+	return o, err
 }
