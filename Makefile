@@ -17,6 +17,13 @@ BENCH_SIM_OUT ?= BENCH_sim.json
 BENCH_CHECK_OUT       ?= /tmp/BENCH_sim.fresh.json
 BENCH_CHECK_THRESHOLD ?= 50
 
+BENCH_NET_OUT ?= BENCH_net.json
+# bench-net-check compares a fresh fabric record against the checked-in
+# one: timing drift warns, allocations and the coalescing macro speedups
+# gate. The fresh record runs -micro-only so the gate stays quick; the
+# committed record (and the nightly artifact) carry the macro cells.
+BENCH_NET_CHECK_OUT ?= /tmp/BENCH_net.fresh.json
+
 BENCH_SHARD_OUT    ?= BENCH_shard.json
 BENCH_SHARD_COUNTS ?= 1,2,4
 # bench-shard gates the 1-shard cluster fast path within 2% of a kernel
@@ -34,7 +41,8 @@ SPILL_SHARDS ?= 4
 SPILL_TIMEOUT ?= 90m
 
 .PHONY: all build vet test race bench bench-sim bench-check bench-shard \
-	golden fmt-check stats-md staticcheck spill-stress chaos
+	bench-net bench-net-check golden fmt-check stats-md staticcheck \
+	spill-stress chaos
 
 all: build vet test
 
@@ -63,6 +71,19 @@ bench-check: build
 	$(GO) run ./cmd/simbench -o $(BENCH_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_CHECK_THRESHOLD) -warn-only \
 		-assert-zero 'benchmarks.*allocs_per_event' BENCH_sim.json $(BENCH_CHECK_OUT)
+
+# Record the inter-GPN fabric benchmarks (per-topology send/exchange
+# micro-paths plus the coalescing off/on macro cells) into BENCH_net.json,
+# then assert the fabric hot paths stayed allocation-free.
+bench-net: build
+	$(GO) run ./cmd/netbench -o $(BENCH_NET_OUT)
+	$(GO) run ./cmd/benchdiff -warn-only \
+		-assert-zero 'benchmarks.*allocs_per_event' $(BENCH_NET_OUT) $(BENCH_NET_OUT)
+
+bench-net-check: build
+	$(GO) run ./cmd/netbench -micro-only -o $(BENCH_NET_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_CHECK_THRESHOLD) -warn-only \
+		-assert-zero 'benchmarks.*allocs_per_event' $(BENCH_NET_OUT) $(BENCH_NET_CHECK_OUT)
 
 # Measure the sharded cluster kernel (aggregate events/sec across shards)
 # into BENCH_shard.json, then gate: the single-engine cluster fast path

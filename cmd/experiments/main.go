@@ -29,6 +29,7 @@ import (
 
 	"nova/internal/exp"
 	"nova/internal/harness"
+	"nova/internal/network"
 	"nova/internal/prof"
 )
 
@@ -41,10 +42,31 @@ func main() {
 	benchPath := flag.String("bench", "", "also run each experiment at -jobs 1 and write the wall-clock comparison JSON here")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress lines on stderr")
 	shards := flag.Int("shards", 1, "simulation worker goroutines per NOVA cell (clamped to the cell's GPN count; results are bit-identical at every setting)")
+	topology := flag.String("topology", "crossbar", "inter-GPN topology for every NOVA cell: crossbar|ring|mesh|torus (fignet sweeps all regardless)")
+	coalesceWindow := flag.Int64("coalesce-window", 0, "in-fabric coalescing window in cycles for every NOVA cell (0 disables; fignet sweeps on/off regardless)")
+	coalesceCap := flag.Int("coalesce-cap", 0, "coalescing buffer capacity in messages (0 = default; requires -coalesce-window)")
 	profFlags := prof.RegisterFlags()
 	flag.Parse()
 	defer profFlags.Start()()
+	// Validate the fabric flags before any dataset is built: an unknown
+	// topology or an inconsistent coalescing setting must fail instantly,
+	// not after minutes of graph generation.
+	if _, err := network.ParseTopoKind(*topology); err != nil {
+		fatal(err)
+	}
+	if *coalesceWindow < 0 {
+		fatal(fmt.Errorf("-coalesce-window %d is negative", *coalesceWindow))
+	}
+	if *coalesceCap < 0 {
+		fatal(fmt.Errorf("-coalesce-cap %d is negative", *coalesceCap))
+	}
+	if *coalesceCap > 0 && *coalesceWindow == 0 {
+		fatal(fmt.Errorf("-coalesce-cap %d has no effect without -coalesce-window", *coalesceCap))
+	}
 	exp.Shards = *shards
+	exp.Topology = *topology
+	exp.CoalesceWindow = *coalesceWindow
+	exp.CoalesceCap = *coalesceCap
 
 	if *list {
 		for _, id := range exp.IDs() {

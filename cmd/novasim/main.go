@@ -34,6 +34,7 @@ import (
 	"nova/graph"
 	"nova/internal/exp"
 	"nova/internal/harness"
+	"nova/internal/network"
 	"nova/internal/prof"
 	"nova/internal/stats"
 	"nova/program"
@@ -49,6 +50,9 @@ func main() {
 	mapping := flag.String("mapping", "random", "random|interleave|load-balanced|locality")
 	spill := flag.String("spill", "overwrite", "overwrite|fifo")
 	fabric := flag.String("fabric", "hierarchical", "hierarchical|ideal")
+	topology := flag.String("topology", "crossbar", "inter-GPN topology: crossbar|ring|mesh|torus (nova engine, hierarchical fabric)")
+	coalesceWindow := flag.Int64("coalesce-window", 0, "in-fabric coalescing window in cycles (0 = off; nova engine, hierarchical fabric)")
+	coalesceCap := flag.Int("coalesce-cap", 0, "coalescing buffer capacity in message entries (0 = default; requires -coalesce-window)")
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
 	graphFile := flag.String("graph-file", "", "load graph from a file instead of the registry (.csr = binary CSR container, else edge list)")
@@ -68,6 +72,13 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	context.AfterFunc(ctx, stopSignals)
+
+	engines := splitList(*engine, []string{"nova", "polygraph", "ligra"})
+	workloads := splitList(*workload, nova.WorkloadNames)
+	// Reject inconsistent fabric knobs before touching any dataset: graph
+	// construction at the larger scales is the expensive part of a run,
+	// and a bad flag combination should fail in milliseconds, not minutes.
+	check(validateFabricFlags(engines, *fabric, *topology, *coalesceWindow, *coalesceCap))
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	check(err)
@@ -92,12 +103,11 @@ func main() {
 		check(err)
 	}
 
-	engines := splitList(*engine, []string{"nova", "polygraph", "ligra"})
-	workloads := splitList(*workload, nova.WorkloadNames)
 	// -stats-out routes through the sweep path even for a single cell, so
 	// every cell's dump lands in one merged, engine.workload-prefixed file.
 	if len(engines)*len(workloads) > 1 || *statsOut != "" {
-		runSweep(ctx, scale, d, engines, workloads, *gpns, *mapping, *spill, *fabric, *prIters, *jobsN, *timeout, *statsOut)
+		fc := fabricFlags{fabric: *fabric, topology: *topology, coalesceWindow: *coalesceWindow, coalesceCap: *coalesceCap}
+		runSweep(ctx, scale, d, engines, workloads, *gpns, *mapping, *spill, fc, *prIters, *jobsN, *timeout, *statsOut)
 		return
 	}
 
@@ -122,6 +132,9 @@ func main() {
 		cfg.Mapping = *mapping
 		cfg.Spill = *spill
 		cfg.Fabric = *fabric
+		cfg.Topology = *topology
+		cfg.CoalesceWindow = *coalesceWindow
+		cfg.CoalesceCapacity = *coalesceCap
 		acc, err := nova.New(cfg)
 		check(err)
 		if *tracePath != "" {
@@ -258,14 +271,61 @@ func splitList(v string, all []string) []string {
 	return parts
 }
 
+// fabricFlags bundles the interconnect knobs threaded into nova cells.
+type fabricFlags struct {
+	fabric         string
+	topology       string
+	coalesceWindow int64
+	coalesceCap    int
+}
+
+// validateFabricFlags rejects inconsistent -fabric/-topology/-coalesce-*
+// combinations before any dataset is built. The topology and coalescing
+// stage live in the nova engine's hierarchical fabric, so they are
+// meaningless on the ideal fabric and on the baseline engines.
+func validateFabricFlags(engines []string, fabric, topology string, window int64, capacity int) error {
+	if _, err := network.ParseTopoKind(topology); err != nil {
+		return err
+	}
+	if window < 0 {
+		return fmt.Errorf("-coalesce-window %d: the window is a cycle count and cannot be negative", window)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("-coalesce-cap %d: the buffer capacity cannot be negative", capacity)
+	}
+	if capacity > 0 && window == 0 {
+		return fmt.Errorf("-coalesce-cap %d has no effect without -coalesce-window; set a window to enable coalescing", capacity)
+	}
+	nonDefault := (topology != "" && topology != "crossbar") || window > 0
+	if !nonDefault {
+		return nil
+	}
+	if fabric == "ideal" {
+		return fmt.Errorf("-topology/-coalesce-window configure the hierarchical fabric; the ideal fabric has no inter-GPN links (drop -fabric ideal)")
+	}
+	hasNova := false
+	for _, e := range engines {
+		if e == "nova" {
+			hasNova = true
+		}
+	}
+	if !hasNova {
+		return fmt.Errorf("-topology/-coalesce-window apply to the nova engine only; engines %v would silently ignore them (add nova to -engine)", engines)
+	}
+	return nil
+}
+
 // buildEngine assembles one harness engine from the command-line knobs.
-func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill, fabric string) (harness.Engine, error) {
+func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill string, fc fabricFlags) (harness.Engine, error) {
 	switch name {
 	case "nova":
 		cfg := exp.NOVAConfig(scale, gpns)
 		cfg.Mapping = mapping
 		cfg.Spill = spill
-		cfg.Fabric = fabric
+		cfg.Fabric = fc.fabric
+		cfg.Topology = fc.topology
+		cfg.CoalesceWindow = fc.coalesceWindow
+		cfg.CoalesceCapacity = fc.coalesceCap
 		return exp.NovaEngineWith(cfg)
 	case "polygraph":
 		return exp.PGEngine(scale), nil
@@ -281,12 +341,12 @@ func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill, fabric 
 // cost of the sweep vs its sequential equivalent. Cancelling ctx (Ctrl-C)
 // stops running cells cooperatively; their salvaged partial reports are
 // rendered, flushed to -stats-out marked partial, and fail the process.
-func runSweep(ctx context.Context, scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill, fabric string, prIters, jobsN int, timeout time.Duration, statsOut string) {
+func runSweep(ctx context.Context, scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill string, fc fabricFlags, prIters, jobsN int, timeout time.Duration, statsOut string) {
 	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
 		d.Graph.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
 	var jobs []harness.Job[*harness.Report]
 	for _, en := range engines {
-		eng, err := buildEngine(en, scale, gpns, mapping, spill, fabric)
+		eng, err := buildEngine(en, scale, gpns, mapping, spill, fc)
 		check(err)
 		for _, w := range workloads {
 			eng, w := eng, w

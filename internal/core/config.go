@@ -104,6 +104,18 @@ type Config struct {
 	Fabric   FabricKind
 	P2P      network.P2PConfig
 	Crossbar network.CrossbarConfig
+	// Topology selects the inter-GPN topology of the hierarchical fabric
+	// (crossbar, ring, mesh, torus); Link times the channels of the
+	// non-crossbar topologies (zero value = network.DefaultLinkConfig).
+	Topology network.TopoKind
+	Link     network.LinkConfig
+	// CoalesceWindow arms the fabric's in-flight coalescing stage: a
+	// cross-GPN message batch waits up to this many ticks for further
+	// same-destination batches to merge with before traversing the
+	// topology (0 disables). CoalesceCapacity bounds the buffered
+	// message entries per destination PE (0 = the network default).
+	CoalesceWindow   sim.Ticks
+	CoalesceCapacity int
 	// Spill selects the VMU spilling mechanism.
 	Spill SpillPolicy
 	// MaxEvents aborts runaway simulations (0 = default budget).
@@ -179,6 +191,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: EdgeChannelsPerGPN = %d", c.EdgeChannelsPerGPN)
 	case c.Shards < 0:
 		return fmt.Errorf("core: Shards = %d", c.Shards)
+	case !c.Topology.Valid():
+		return fmt.Errorf("core: unknown topology kind %d", int(c.Topology))
+	case c.Fabric == FabricIdeal && c.Topology != network.TopoCrossbar:
+		return fmt.Errorf("core: topology %s requires the hierarchical fabric (the ideal fabric has no inter-GPN links)", c.Topology)
+	case c.CoalesceWindow < 0:
+		return fmt.Errorf("core: CoalesceWindow = %d", c.CoalesceWindow)
+	case c.CoalesceCapacity < 0:
+		return fmt.Errorf("core: CoalesceCapacity = %d", c.CoalesceCapacity)
+	case c.CoalesceCapacity > 0 && c.CoalesceWindow == 0:
+		return fmt.Errorf("core: CoalesceCapacity = %d but CoalesceWindow = 0 (coalescing disabled; set a window)", c.CoalesceCapacity)
+	case c.Fabric == FabricIdeal && c.CoalesceWindow > 0:
+		return fmt.Errorf("core: in-fabric coalescing requires the hierarchical fabric")
 	}
 	if err := c.VertexChannel.Validate(); err != nil {
 		return err

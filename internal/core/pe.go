@@ -3,6 +3,7 @@ package core
 import (
 	"nova/graph"
 	"nova/internal/mem"
+	"nova/internal/network"
 	"nova/internal/sim"
 	"nova/internal/stats"
 	"nova/program"
@@ -212,6 +213,23 @@ func (t *deliverTask) Fire() {
 	t.next = o.freeDeliver
 	o.freeDeliver = t
 }
+
+// Payload, SetPayload and Discard implement network.Batch: the fabric's
+// coalescing stage rewrites a waiting task's messages when a later batch
+// to the same destination merges into it, and discards the absorbed task.
+// Discard runs on the owner's shard (Send is called from the sender's
+// goroutine) before the task was ever scheduled, so the free-list push is
+// safe.
+func (t *deliverTask) Payload() []program.Message     { return t.msgs }
+func (t *deliverTask) SetPayload(m []program.Message) { t.msgs = m }
+func (t *deliverTask) Discard() {
+	t.target = nil
+	o := t.owner
+	t.next = o.freeDeliver
+	o.freeDeliver = t
+}
+
+var _ network.Batch = (*deliverTask)(nil)
 
 func (pe *PE) newDeliverTask(target *PE, batch []program.Message) *deliverTask {
 	t := pe.freeDeliver

@@ -12,6 +12,7 @@ import (
 // legacy flat bag while the hierarchical detail grows underneath.
 const (
 	MetricCycles             = "cycles"
+	MetricEventsExecuted     = "events_executed"
 	MetricEdgeUtilization    = "edge_utilization"
 	MetricVertexUsefulFrac   = "vertex_useful_frac"
 	MetricVertexWriteFrac    = "vertex_write_frac"
@@ -30,6 +31,9 @@ const (
 	MetricMetadataBytes      = "metadata_bytes"
 	MetricNetworkBytes       = "network_bytes"
 	MetricNetworkInterBytes  = "network_inter_bytes"
+	MetricNetworkCoalesced   = "network_messages_coalesced"
+	MetricNetworkBytesSaved  = "network_bytes_saved"
+	MetricNetworkAvgHops     = "network_avg_hops"
 	MetricLoadImbalance      = "load_imbalance"
 )
 
@@ -53,6 +57,8 @@ func (s *System) buildStatsTree() {
 
 	root.Formula(res(func(r *Result) float64 { return float64(r.Ticks) }),
 		MetricCycles, stats.Cycles, "simulated cycles to completion")
+	root.Formula(func() float64 { return float64(s.cluster.Executed()) },
+		MetricEventsExecuted, stats.Count, "simulator events executed across all shards (fabric efficiency signal)")
 	root.Formula(res(func(r *Result) float64 { return r.EdgeUtilization }),
 		MetricEdgeUtilization, stats.Ratio, "achieved fraction of aggregate edge-memory bandwidth (Fig. 4)")
 	root.Formula(res(func(r *Result) float64 { u, _, _ := r.VertexBWFractions(); return u }),
@@ -93,6 +99,16 @@ func (s *System) buildStatsTree() {
 		MetricNetworkBytes, stats.Bytes, "total fabric payload moved")
 	root.Formula(res(func(r *Result) float64 { return float64(r.Net.InterBytes) }),
 		MetricNetworkInterBytes, stats.Bytes, "fabric payload that crossed the GPN-level crossbar")
+	root.Formula(res(func(r *Result) float64 { return float64(r.Net.Coalesced) }),
+		MetricNetworkCoalesced, stats.Count, "cross-GPN message batches absorbed by the fabric's coalescing stage")
+	root.Formula(res(func(r *Result) float64 { return float64(r.Net.BytesSaved) }),
+		MetricNetworkBytesSaved, stats.Bytes, "payload bytes the coalescing stage kept off the inter-GPN links")
+	root.Formula(res(func(r *Result) float64 {
+		if r.Net.InterMessages == 0 {
+			return 0
+		}
+		return float64(r.Net.HopsSum) / float64(r.Net.InterMessages)
+	}), MetricNetworkAvgHops, stats.Ratio, "mean inter-GPN links traversed per cross-GPN message")
 	root.Formula(res(func(r *Result) float64 { return r.LoadImbalance() }),
 		MetricLoadImbalance, stats.Ratio, "max per-PE propagations over mean; 1.0 is balanced (Fig. 9b)")
 

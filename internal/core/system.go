@@ -186,7 +186,14 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 	case FabricIdeal:
 		s.fabric = network.NewIdeal(engines, cfg.PEsPerGPN, cfg.P2P.Latency)
 	default:
-		s.fabric = network.NewHierarchical(engines, cfg.PEsPerGPN, cfg.P2P, cfg.Crossbar)
+		s.fabric = network.NewFabric(engines, cfg.PEsPerGPN, network.FabricConfig{
+			P2P:      cfg.P2P,
+			Crossbar: cfg.Crossbar,
+			Link:     cfg.Link,
+			Topology: cfg.Topology,
+			Coalesce: network.CoalesceConfig{Window: cfg.CoalesceWindow, Capacity: cfg.CoalesceCapacity},
+			Vertices: g.NumVertices(),
+		})
 	}
 	s.edgeChans = make([][]*mem.Channel, cfg.GPNs)
 	for gpn := range s.edgeChans {
@@ -425,6 +432,11 @@ func (s *System) Run(ctx context.Context, p program.Program) (*Result, error) {
 	s.sched, _ = p.(program.ScheduledProgram)
 	s.prep, _ = p.(program.PropPreparer)
 	s.selfUpd, _ = p.(program.SelfUpdating)
+	if hf, ok := s.fabric.(*network.Hierarchical); ok {
+		if m, ok := p.(program.DeltaMerger); ok {
+			hf.SetMerge(m.MergeDelta)
+		}
+	}
 
 	for v := range s.props {
 		s.props[v] = p.InitProp(graph.VertexID(v), s.g)

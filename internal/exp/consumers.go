@@ -17,6 +17,9 @@ var MetricConsumers = map[string][]string{
 	nova.MetricVertexUsefulFrac:    {"Fig. 10"},
 	nova.MetricVertexWriteFrac:     {"Fig. 10"},
 	nova.MetricVertexWastefulFrac:  {"Fig. 10"},
+	nova.MetricNetworkCoalesced:    {"Fig. net"},
+	nova.MetricNetworkBytesSaved:   {"Fig. net"},
+	nova.MetricNetworkAvgHops:      {"Fig. net"},
 	nova.MetricSpills:              {"Table I"},
 	nova.MetricSpillWrites:         {"Table I"},
 	nova.MetricStaleRetrievals:     {"Table I"},

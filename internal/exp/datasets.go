@@ -233,6 +233,18 @@ func WeakScalingGraph(s Scale, gpns int) *graph.CSR {
 // bit-identical at every setting, so it is not part of any fingerprint.
 var Shards = 1
 
+// Topology, CoalesceWindow and CoalesceCap mirror the CLIs' fabric flags:
+// NOVAConfig stamps them into every generated configuration, so a whole
+// experiment run can be replayed on a different inter-GPN fabric. Unlike
+// Shards they change simulated timing, and they reach the engine
+// fingerprint through nova.Config. fignet sweeps the topology grid
+// explicitly and is unaffected by these defaults.
+var (
+	Topology       = "crossbar"
+	CoalesceWindow int64
+	CoalesceCap    int
+)
+
 // NOVAConfig returns the scaled NOVA system for the experiments: Table II
 // organization with the cache shrunk in proportion to the scaled graphs,
 // and — on the Large tier — the active buffers shrunk far below the
@@ -243,6 +255,9 @@ func NOVAConfig(s Scale, gpns int) nova.Config {
 	cfg.CacheBytesPerPE = s.CacheBytesPerPE()
 	cfg.ActiveBufferEntries = s.ActiveBufferEntries()
 	cfg.Shards = Shards
+	cfg.Topology = Topology
+	cfg.CoalesceWindow = CoalesceWindow
+	cfg.CoalesceCapacity = CoalesceCap
 	return cfg
 }
 

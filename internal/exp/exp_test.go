@@ -141,7 +141,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9a", "fig9b", "fig9c", "fig10", "tab1", "tab2", "tab3", "tab4", "tab5"}
+		"fig9a", "fig9b", "fig9c", "fig10", "fignet", "tab1", "tab2", "tab3", "tab4", "tab5"}
 	if len(All) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(All), len(want))
 	}

@@ -459,6 +459,14 @@ func Fig9c(ctx context.Context, s Scale, pool *harness.Pool) (*Table, error) {
 					for i, fabric := range []string{"hierarchical", "ideal"} {
 						cfg := NOVAConfig(s, gpns)
 						cfg.Fabric = fabric
+						if fabric == "ideal" {
+							// The ideal fabric has no inter-GPN links, so a
+							// globally-selected topology or coalescing window
+							// cannot apply to this side of the comparison.
+							cfg.Topology = "crossbar"
+							cfg.CoalesceWindow = 0
+							cfg.CoalesceCapacity = 0
+						}
 						eng, err := NovaEngineWith(cfg)
 						if err != nil {
 							return nil, err

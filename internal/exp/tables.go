@@ -170,22 +170,23 @@ type Runner func(ctx context.Context, s Scale, pool *harness.Pool) (*Table, erro
 // All maps experiment IDs to runners, covering every table and figure in
 // the paper's evaluation.
 var All = map[string]Runner{
-	"fig1":  Fig1,
-	"fig2":  Fig2,
-	"fig4":  Fig4,
-	"fig5":  Fig5,
-	"fig6":  Fig6,
-	"fig7":  Fig7,
-	"fig8":  Fig8,
-	"fig9a": Fig9a,
-	"fig9b": Fig9b,
-	"fig9c": Fig9c,
-	"fig10": Fig10,
-	"tab1":  Tab1,
-	"tab2":  Tab2,
-	"tab3":  Tab3,
-	"tab4":  Tab4,
-	"tab5":  Tab5,
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9a":  Fig9a,
+	"fig9b":  Fig9b,
+	"fig9c":  Fig9c,
+	"fig10":  Fig10,
+	"fignet": FigNet,
+	"tab1":   Tab1,
+	"tab2":   Tab2,
+	"tab3":   Tab3,
+	"tab4":   Tab4,
+	"tab5":   Tab5,
 }
 
 // IDs returns all experiment IDs in a stable order.

@@ -1,21 +1,30 @@
 // Package network models the two interconnect levels of NOVA's system
 // architecture (Section IV-C): the 8×8 point-to-point electrical network
-// between PEs inside a GPN, and the crossbar switch connecting GPNs.
+// between PEs inside a GPN, and a pluggable inter-GPN topology — the
+// paper's crossbar switch, or a ring / 2D mesh / 2D torus with
+// dimension-ordered hop-by-hop routing.
 //
 // The paper's balance argument is quantitative: per-GPN message traffic is
 // bounded by edge-memory bandwidth, and the fabric must absorb it without
 // becoming the bottleneck. These models therefore charge every message's
-// bytes against per-link (or per-port) bandwidth and add a fixed latency,
-// which is exactly the accounting the paper's Figure 9c experiment needs.
+// bytes against per-link (or per-port) bandwidth and add latency per
+// traversal, which is exactly the accounting the paper's Figure 9c
+// experiment needs — and the per-link utilization and hop-count stats say
+// *where* a cheaper topology runs out of bisection.
 //
 // The fabric is also the cross-shard boundary of the sharded simulator:
 // each GPN runs on its own engine, intra-GPN traffic stays on the sender's
 // engine, and inter-GPN traffic is buffered in a per-source-GPN outbox
 // until the cluster's window barrier calls Exchange. Lookahead declares
-// the minimum cross-engine latency that makes the windows sound. All
-// per-GPN counters are written only by their owning shard (or by Exchange,
-// which runs single-threaded between windows), so the hot path needs no
-// locks; Finalize folds them into the machine-wide totals at dump time.
+// the minimum cross-engine latency that makes the windows sound: every
+// route has at least one hop, and every hop charges at least the link
+// latency, so lookahead = (min per-hop latency) × (min hop count = 1).
+// All per-GPN counters are written only by their owning shard (or by
+// Exchange, which runs single-threaded between windows); a route's first
+// link belongs to the sending GPN and later links are only reserved at
+// Exchange or on a shared engine, so the hot path needs no locks.
+// Finalize folds the per-GPN accumulators into machine-wide totals at
+// dump time.
 package network
 
 import (
@@ -56,12 +65,29 @@ type Fabric interface {
 	RegisterStats(g *stats.Group)
 }
 
-// Stats counts fabric traffic.
+// Stats counts fabric traffic. The conservation invariant is
+// Messages + Coalesced == Send calls: every batch offered to the fabric
+// either traverses it as its own message or is absorbed into one that
+// does.
 type Stats struct {
 	Messages   uint64
 	Bytes      uint64
 	LocalBytes uint64 // bytes that stayed within one GPN
-	InterBytes uint64 // bytes that crossed the GPN-level crossbar
+	InterBytes uint64 // bytes that crossed the inter-GPN fabric
+	// InterMessages counts messages that traversed the inter-GPN fabric
+	// (after coalescing — the denominator of the average hop count).
+	InterMessages uint64
+	// Coalesced counts message batches absorbed into a buffered batch
+	// still waiting for link bandwidth, instead of traversing the fabric
+	// as their own message.
+	Coalesced uint64
+	// MergedUpdates counts same-destination-vertex updates folded into an
+	// already-buffered update by the program's delta-merge function.
+	MergedUpdates uint64
+	// BytesSaved is payload the fabric never carried thanks to merging.
+	BytesSaved uint64
+	// HopsSum totals hop counts over inter-GPN messages.
+	HopsSum uint64
 }
 
 func (s *Stats) add(o Stats) {
@@ -69,6 +95,11 @@ func (s *Stats) add(o Stats) {
 	s.Bytes += o.Bytes
 	s.LocalBytes += o.LocalBytes
 	s.InterBytes += o.InterBytes
+	s.InterMessages += o.InterMessages
+	s.Coalesced += o.Coalesced
+	s.MergedUpdates += o.MergedUpdates
+	s.BytesSaved += o.BytesSaved
+	s.HopsSum += o.HopsSum
 }
 
 // link tracks occupancy in fractional cycles so sub-cycle transfers (an
@@ -120,6 +151,37 @@ func DefaultCrossbarConfig() CrossbarConfig {
 	return CrossbarConfig{BytesPerCycle: 30, Latency: 120}
 }
 
+// LinkConfig describes one directed channel of a point-to-point inter-GPN
+// topology (ring/mesh/torus). Each hop charges the link's serialization
+// time plus Latency cycles of propagation.
+type LinkConfig struct {
+	BytesPerCycle float64
+	Latency       sim.Ticks
+}
+
+// DefaultLinkConfig sizes a topology channel at the crossbar's port
+// bandwidth with a third of its switching latency — one hop is cheaper
+// than the crossbar, the diameter is not.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{BytesPerCycle: 30, Latency: 40}
+}
+
+// FabricConfig assembles a hierarchical fabric: the intra-GPN mesh, the
+// inter-GPN topology, and the optional in-fabric coalescing stage.
+type FabricConfig struct {
+	P2P      P2PConfig
+	Crossbar CrossbarConfig
+	// Link configures the channels of the non-crossbar topologies; the
+	// zero value means DefaultLinkConfig.
+	Link     LinkConfig
+	Topology TopoKind
+	Coalesce CoalesceConfig
+	// Vertices sizes the coalescing stage's vertex→buffer-slot index
+	// (same-vertex merging is skipped when 0; append-only coalescing
+	// still works).
+	Vertices int
+}
+
 // SharedEngines returns a slice naming eng as the engine of every one of
 // gpns GPNs — the construction for a system whose GPNs all share one
 // event loop (the classic sequential simulator).
@@ -131,9 +193,9 @@ func SharedEngines(eng *sim.Engine, gpns int) []*sim.Engine {
 	return engines
 }
 
-// outMsg is one buffered cross-engine message: the crossbar out-port
-// finish time on the sender side, and the delivery to complete on the
-// destination at Exchange.
+// outMsg is one buffered cross-engine message: the first-hop finish time
+// on the sender side, and the delivery to complete on the destination at
+// Exchange (the remaining hops are recomputed from the route table).
 type outMsg struct {
 	t1      float64
 	dst     int32
@@ -142,52 +204,103 @@ type outMsg struct {
 }
 
 // hierGPN is the per-GPN slice of a Hierarchical fabric. Every field is
-// written only by the owning shard's goroutine, except inPort/inBusy,
-// which are written by Exchange (single-threaded, between windows) for
-// cross-engine traffic.
+// written only by the owning shard's goroutine during windows; Exchange
+// (single-threaded, between windows) walks outboxes and the shared link
+// array.
 type hierGPN struct {
 	eng *sim.Engine
 	// intra holds pesPerGPN×pesPerGPN links of this GPN's mesh.
-	intra           []link
-	inPort, outPort link
-	stats           Stats
-	intraBusy       float64
-	outBusy         float64
-	inBusy          float64
-	msgBytes        stats.Histogram
-	outbox          []outMsg
+	intra     []link
+	stats     Stats
+	intraBusy float64
+	msgBytes  stats.Histogram
+	hops      stats.Histogram
+	outbox    []outMsg
+	// Coalescing stage (nil when disabled): per-destination-PE buffers,
+	// plus a generation-stamped vertex→payload-slot index shared across
+	// the buffers (sound because each vertex has exactly one owner PE).
+	coal []coalBuf
+	vidx []int32
+	vgen []uint32
+	seq  uint32
 }
 
 // Hierarchical is NOVA's production fabric: a fully-connected point-to-
-// point mesh among the PEs of each GPN, and a crossbar with one port per
-// GPN for everything else. The crossbar is the cross-shard boundary; its
-// latency is the cluster lookahead.
+// point mesh among the PEs of each GPN, and a routed topology (crossbar,
+// ring, mesh, or torus) between GPNs. The topology is the cross-shard
+// boundary; its per-hop latency is the cluster lookahead.
 type Hierarchical struct {
 	engines   []*sim.Engine
 	pesPerGPN int
 	p2p       P2PConfig
 	xbar      CrossbarConfig
-	gpn       []hierGPN
-	// total and msgBytesTotal back the dump records; Finalize folds the
-	// per-GPN accumulators into them.
+	topo      *topology
+	coalesce  CoalesceConfig
+	merge     MergeFunc
+	// links and linkBusy are indexed by topology link ID. A link is
+	// written by its owning GPN's shard (first hop of that GPN's sends)
+	// or by Exchange/shared-engine completion — never concurrently.
+	links    []link
+	linkBusy []float64
+	// interBW, stageLat and endLat are the topology's resolved timing:
+	// per-channel bandwidth, inter-hop propagation latency (0 for the
+	// crossbar, whose two port stages sit inside one switch), and the
+	// final delivery latency.
+	interBW  float64
+	stageLat float64
+	endLat   sim.Ticks
+	gpn      []hierGPN
+	// total and the *Total histograms back the dump records; Finalize
+	// folds the per-GPN accumulators into them.
 	total         Stats
 	msgBytesTotal stats.Histogram
+	hopsTotal     stats.Histogram
 }
 
-// NewHierarchical builds the fabric for len(engines) GPNs of pesPerGPN
-// PEs each, GPN g running on engines[g]. Pass SharedEngines for a
-// single-event-loop system.
+// NewHierarchical builds the paper's crossbar fabric for len(engines)
+// GPNs of pesPerGPN PEs each, GPN g running on engines[g]. Pass
+// SharedEngines for a single-event-loop system. It is NewFabric with the
+// crossbar topology and coalescing off.
 func NewHierarchical(engines []*sim.Engine, pesPerGPN int, p2p P2PConfig, xbar CrossbarConfig) *Hierarchical {
+	return NewFabric(engines, pesPerGPN, FabricConfig{P2P: p2p, Crossbar: xbar})
+}
+
+// NewFabric builds a hierarchical fabric with the configured inter-GPN
+// topology and optional coalescing stage.
+func NewFabric(engines []*sim.Engine, pesPerGPN int, cfg FabricConfig) *Hierarchical {
 	if len(engines) == 0 || pesPerGPN <= 0 {
 		panic(fmt.Sprintf("network: invalid geometry %d GPNs × %d PEs", len(engines), pesPerGPN))
+	}
+	if !cfg.Topology.Valid() {
+		panic(fmt.Sprintf("network: invalid topology kind %d", int(cfg.Topology)))
 	}
 	h := &Hierarchical{
 		engines:   engines,
 		pesPerGPN: pesPerGPN,
-		p2p:       p2p,
-		xbar:      xbar,
+		p2p:       cfg.P2P,
+		xbar:      cfg.Crossbar,
+		coalesce:  cfg.Coalesce,
+		topo:      buildTopology(cfg.Topology, len(engines)),
 		gpn:       make([]hierGPN, len(engines)),
 	}
+	if cfg.Topology == TopoCrossbar {
+		h.interBW = cfg.Crossbar.BytesPerCycle
+		h.stageLat = 0
+		h.endLat = cfg.Crossbar.Latency
+	} else {
+		lc := cfg.Link
+		if lc == (LinkConfig{}) {
+			lc = DefaultLinkConfig()
+		}
+		if lc.BytesPerCycle <= 0 || lc.Latency <= 0 {
+			panic(fmt.Sprintf("network: invalid link config %+v", lc))
+		}
+		h.interBW = lc.BytesPerCycle
+		h.stageLat = float64(lc.Latency)
+		h.endLat = lc.Latency
+	}
+	h.links = make([]link, len(h.topo.names))
+	h.linkBusy = make([]float64, len(h.topo.names))
 	for g := range h.gpn {
 		if engines[g] == nil {
 			panic(fmt.Sprintf("network: nil engine for gpn%d", g))
@@ -195,36 +308,61 @@ func NewHierarchical(engines []*sim.Engine, pesPerGPN int, p2p P2PConfig, xbar C
 		h.gpn[g].eng = engines[g]
 		h.gpn[g].intra = make([]link, pesPerGPN*pesPerGPN)
 	}
+	if cfg.Coalesce.Window > 0 {
+		h.initCoalesce(cfg.Vertices)
+	}
 	return h
 }
+
+// SetMerge installs the program's delta-merge function, letting the
+// coalescing stage fold same-destination-vertex updates into one message
+// entry instead of only appending. Call before the run starts; nil keeps
+// append-only coalescing (always correct for any program).
+func (h *Hierarchical) SetMerge(f MergeFunc) { h.merge = f }
 
 // Send implements Fabric.
 func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
 	sg, dg := src/h.pesPerGPN, dst/h.pesPerGPN
 	g := &h.gpn[sg]
-	g.stats.Messages++
-	g.stats.Bytes += uint64(bytes)
-	g.msgBytes.Observe(uint64(bytes))
 	if sg == dg {
+		g.stats.Messages++
+		g.stats.Bytes += uint64(bytes)
+		g.msgBytes.Observe(uint64(bytes))
 		g.stats.LocalBytes += uint64(bytes)
 		g.intraBusy += float64(bytes) / h.p2p.BytesPerCycle
 		l := &g.intra[(src%h.pesPerGPN)*h.pesPerGPN+dst%h.pesPerGPN]
 		l.transfer(g.eng, bytes, h.p2p.BytesPerCycle, h.p2p.Latency, deliver)
 		return
 	}
+	if g.coal != nil {
+		if b, ok := deliver.(Batch); ok {
+			h.coalesceSend(g, sg, dst, bytes, b)
+			return
+		}
+	}
+	h.sendInter(g, sg, dg, dst, bytes, deliver)
+}
+
+// sendInter charges one message to the inter-GPN topology: stats, hop
+// accounting, first-hop reservation on the sender's link, then either the
+// full route inline (shared engine) or the outbox for Exchange.
+func (h *Hierarchical) sendInter(g *hierGPN, sg, dg, dst, bytes int, deliver sim.Handler) {
+	g.stats.Messages++
+	g.stats.Bytes += uint64(bytes)
+	g.msgBytes.Observe(uint64(bytes))
 	g.stats.InterBytes += uint64(bytes)
-	g.outBusy += float64(bytes) / h.xbar.BytesPerCycle
-	// Source GPN's output port, then destination GPN's input port. The
-	// stages arbitrate independently (the switch buffers between them),
-	// so a busy destination port does not convoy-block the source port.
-	t1 := g.outPort.reserve(float64(g.eng.Now()), bytes, h.xbar.BytesPerCycle)
+	g.stats.InterMessages++
+	nh := uint64(h.topo.pathHops(sg, dg))
+	g.stats.HopsSum += nh
+	g.hops.Observe(nh)
+	r := h.topo.route(sg, dg)
+	h.linkBusy[r[0]] += float64(bytes) / h.interBW
+	t1 := h.links[r[0]].reserve(float64(g.eng.Now()), bytes, h.interBW)
 	d := &h.gpn[dg]
 	if d.eng == g.eng {
-		// Both GPNs share one event loop: complete the transfer inline,
+		// Both GPNs share one event loop: complete the route inline,
 		// exactly like the pre-sharding fabric.
-		d.inBusy += float64(bytes) / h.xbar.BytesPerCycle
-		t2 := d.inPort.reserve(t1, bytes, h.xbar.BytesPerCycle)
-		g.eng.ScheduleAt(sim.Ticks(t2+0.999999)+h.xbar.Latency, deliver)
+		g.eng.ScheduleAt(h.completeRoute(r, t1, bytes), deliver)
 		return
 	}
 	g.outbox = append(g.outbox, outMsg{
@@ -232,14 +370,28 @@ func (h *Hierarchical) Send(src, dst, bytes int, deliver sim.Handler) {
 	})
 }
 
-// Lookahead implements Fabric: the crossbar's fixed latency bounds every
-// cross-engine message.
-func (h *Hierarchical) Lookahead() sim.Ticks { return h.xbar.Latency }
+// completeRoute reserves the remaining hops of a route whose first link
+// finished at t1 and returns the delivery tick. Successive stages
+// arbitrate independently (each router buffers between hops), so a busy
+// downstream link does not convoy-block the one before it.
+func (h *Hierarchical) completeRoute(r []int32, t1 float64, bytes int) sim.Ticks {
+	t := t1
+	for _, li := range r[1:] {
+		h.linkBusy[li] += float64(bytes) / h.interBW
+		t = h.links[li].reserve(t+h.stageLat, bytes, h.interBW)
+	}
+	return sim.Ticks(t+0.999999) + h.endLat
+}
+
+// Lookahead implements Fabric: min per-hop latency × min hop count (1) —
+// the crossbar's switch latency, or one channel latency for the routed
+// topologies. Every cross-engine delivery is at least this far in the
+// destination's future.
+func (h *Hierarchical) Lookahead() sim.Ticks { return h.endLat }
 
 // Exchange implements Fabric. Source GPNs drain in ascending index order
 // and each outbox preserves send order, so delivery order — and therefore
-// every destination in-port reservation — is identical at any worker
-// count.
+// every downstream link reservation — is identical at any worker count.
 func (h *Hierarchical) Exchange() (int, error) {
 	delivered := 0
 	for sg := range h.gpn {
@@ -248,9 +400,7 @@ func (h *Hierarchical) Exchange() (int, error) {
 			m := &g.outbox[i]
 			dg := int(m.dst) / h.pesPerGPN
 			d := &h.gpn[dg]
-			d.inBusy += float64(m.bytes) / h.xbar.BytesPerCycle
-			t2 := d.inPort.reserve(m.t1, int(m.bytes), h.xbar.BytesPerCycle)
-			when := sim.Ticks(t2+0.999999) + h.xbar.Latency
+			when := h.completeRoute(h.topo.route(sg, dg), m.t1, int(m.bytes))
 			if now := d.eng.Now(); when < now {
 				return delivered, fmt.Errorf(
 					"network: cross-shard message gpn%d→gpn%d arrives at tick %d, behind destination time %d (lookahead violation)",
@@ -278,22 +428,37 @@ func (h *Hierarchical) Stats() Stats {
 func (h *Hierarchical) Finalize() {
 	h.total = h.Stats()
 	h.msgBytesTotal = stats.Histogram{}
+	h.hopsTotal = stats.Histogram{}
 	for g := range h.gpn {
 		h.msgBytesTotal.Merge(h.gpn[g].msgBytes)
+		h.hopsTotal.Merge(h.gpn[g].hops)
 	}
 }
 
-// RegisterStats implements Fabric: traffic counters and message-size
-// histogram at the fabric root (filled in by Finalize), plus per-GPN
-// busy-cycle totals and utilization formulas. Intra-GPN utilization is
-// normalised by the aggregate bandwidth of a GPN's point-to-point mesh
-// (pesPerGPN² links); crossbar ports normalise by one port's bandwidth.
+// RegisterStats implements Fabric: traffic counters, message-size and
+// hop-count histograms at the fabric root (filled in by Finalize), plus
+// per-GPN busy-cycle totals and utilization formulas. Intra-GPN
+// utilization is normalised by the aggregate bandwidth of a GPN's
+// point-to-point mesh (pesPerGPN² links). The crossbar keeps its legacy
+// per-GPN port records; the routed topologies report each directed
+// channel under links.<name>.
 func (h *Hierarchical) RegisterStats(g *stats.Group) {
 	g.Uint64(&h.total.Messages, "messages", stats.Count, "messages sent over the fabric")
 	g.Uint64(&h.total.Bytes, "bytes", stats.Bytes, "total message payload moved")
 	g.Uint64(&h.total.LocalBytes, "local_bytes", stats.Bytes, "bytes that stayed within one GPN's point-to-point mesh")
-	g.Uint64(&h.total.InterBytes, "inter_bytes", stats.Bytes, "bytes that crossed the GPN-level crossbar")
+	g.Uint64(&h.total.InterBytes, "inter_bytes", stats.Bytes, "bytes that crossed the inter-GPN fabric")
+	g.Uint64(&h.total.InterMessages, "inter_messages", stats.Count, "messages that crossed the inter-GPN fabric (after coalescing)")
+	g.Uint64(&h.total.Coalesced, "messages_coalesced", stats.Count, "message batches absorbed into a buffered same-destination batch")
+	g.Uint64(&h.total.MergedUpdates, "merged_updates", stats.Count, "same-vertex updates folded by the program's delta-merge function")
+	g.Uint64(&h.total.BytesSaved, "bytes_saved", stats.Bytes, "payload the fabric never carried thanks to merging")
+	g.Formula(func() float64 {
+		if h.total.InterMessages == 0 {
+			return 0
+		}
+		return float64(h.total.HopsSum) / float64(h.total.InterMessages)
+	}, "avg_hops", stats.Count, "mean inter-GPN channel traversals per fabric message")
 	g.Histogram(&h.msgBytesTotal, "message_bytes", stats.Bytes, "per-message payload size (log2 buckets)")
+	g.Histogram(&h.hopsTotal, "hop_count", stats.Count, "hop count per inter-GPN message (log2 buckets)")
 	elapsed := func() float64 {
 		var t sim.Ticks
 		for _, e := range h.engines {
@@ -306,19 +471,32 @@ func (h *Hierarchical) RegisterStats(g *stats.Group) {
 		}
 		return 1
 	}
+	n := len(h.gpn)
 	for gi := range h.gpn {
 		gi := gi
 		gg := g.Group(fmt.Sprintf("gpn%d", gi))
 		gg.Float64(&h.gpn[gi].intraBusy, "p2p_busy_cycles", stats.Cycles, "aggregate link-busy cycles on the GPN's point-to-point mesh")
-		gg.Float64(&h.gpn[gi].outBusy, "xbar_out_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar output port")
-		gg.Float64(&h.gpn[gi].inBusy, "xbar_in_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar input port")
 		links := float64(h.pesPerGPN * h.pesPerGPN)
 		gg.Formula(func() float64 { return h.gpn[gi].intraBusy / (elapsed() * links) },
 			"p2p_utilization", stats.Ratio, "point-to-point mesh utilization (busy / elapsed·links)")
-		gg.Formula(func() float64 { return h.gpn[gi].outBusy / elapsed() },
-			"xbar_out_utilization", stats.Ratio, "crossbar output port utilization")
-		gg.Formula(func() float64 { return h.gpn[gi].inBusy / elapsed() },
-			"xbar_in_utilization", stats.Ratio, "crossbar input port utilization")
+		if h.topo.kind == TopoCrossbar {
+			gg.Float64(&h.linkBusy[gi], "xbar_out_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar output port")
+			gg.Float64(&h.linkBusy[n+gi], "xbar_in_busy_cycles", stats.Cycles, "busy cycles on the GPN's crossbar input port")
+			gg.Formula(func() float64 { return h.linkBusy[gi] / elapsed() },
+				"xbar_out_utilization", stats.Ratio, "crossbar output port utilization")
+			gg.Formula(func() float64 { return h.linkBusy[n+gi] / elapsed() },
+				"xbar_in_utilization", stats.Ratio, "crossbar input port utilization")
+		}
+	}
+	if h.topo.kind != TopoCrossbar {
+		lg := g.Group("links")
+		for li := range h.links {
+			li := li
+			kg := lg.Group(h.topo.names[li])
+			kg.Float64(&h.linkBusy[li], "busy_cycles", stats.Cycles, "busy cycles on this directed inter-GPN channel")
+			kg.Formula(func() float64 { return h.linkBusy[li] / elapsed() },
+				"utilization", stats.Ratio, "channel utilization (busy / elapsed)")
+		}
 	}
 }
 

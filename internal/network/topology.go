@@ -1,0 +1,286 @@
+package network
+
+import "fmt"
+
+// TopoKind selects the inter-GPN topology of the hierarchical fabric.
+// The crossbar is Table II's switch; ring, mesh and torus trade its
+// one-hop bisection for cheaper per-node wiring, which is exactly the
+// trade the per-link utilization and hop-count stats quantify.
+type TopoKind int
+
+const (
+	// TopoCrossbar is a full crossbar: every GPN has one output and one
+	// input port, any pair connects in a single switch traversal.
+	TopoCrossbar TopoKind = iota
+	// TopoRing is a bidirectional ring; messages take the shorter
+	// direction (ties go clockwise).
+	TopoRing
+	// TopoMesh is a 2D mesh with XY dimension-ordered routing (X fully
+	// resolved before Y — deadlock-free and deterministic).
+	TopoMesh
+	// TopoTorus is a 2D torus: the mesh plus wrap-around links, with the
+	// shorter wrap chosen per dimension (ties go in the +direction).
+	TopoTorus
+)
+
+// Valid reports whether k names a known topology.
+func (k TopoKind) Valid() bool { return k >= TopoCrossbar && k <= TopoTorus }
+
+func (k TopoKind) String() string {
+	switch k {
+	case TopoCrossbar:
+		return "crossbar"
+	case TopoRing:
+		return "ring"
+	case TopoMesh:
+		return "mesh"
+	case TopoTorus:
+		return "torus"
+	}
+	return fmt.Sprintf("TopoKind(%d)", int(k))
+}
+
+// ParseTopoKind maps a topology name to its kind. The empty string is
+// the crossbar (the historical default).
+func ParseTopoKind(s string) (TopoKind, error) {
+	switch s {
+	case "", "crossbar", "xbar":
+		return TopoCrossbar, nil
+	case "ring":
+		return TopoRing, nil
+	case "mesh":
+		return TopoMesh, nil
+	case "torus":
+		return TopoTorus, nil
+	}
+	return 0, fmt.Errorf("network: unknown topology %q (want crossbar, ring, mesh, or torus)", s)
+}
+
+// TopoKindNames lists the accepted topology names, for CLI help text.
+func TopoKindNames() []string { return []string{"crossbar", "ring", "mesh", "torus"} }
+
+// topology is a precomputed routing plan over n GPNs: a set of directed
+// links (identified by dense int32 IDs into the fabric's link array) and,
+// for every ordered GPN pair, the fixed link sequence a message follows.
+// Routes are deterministic functions of (src, dst) alone, so they can be
+// recomputed at Exchange without carrying state in the outbox.
+type topology struct {
+	kind TopoKind
+	n    int
+	// w×h are the grid dimensions (mesh/torus only).
+	w, h int
+	// names[i] labels link i for the stats tree.
+	names []string
+	// routes is the flattened route table: the path for (s, d) is
+	// routes[off[s*n+d]:off[s*n+d+1]]. Diagonal entries are empty (local
+	// traffic never touches the inter-GPN fabric).
+	routes []int32
+	off    []int32
+	// maxHops is the network diameter in hops (1 for the crossbar).
+	maxHops int
+}
+
+// route returns the link sequence from GPN s to GPN d (s != d). The
+// returned slice aliases the precomputed table; callers must not mutate.
+func (t *topology) route(s, d int) []int32 {
+	i := s*t.n + d
+	return t.routes[t.off[i]:t.off[i+1]]
+}
+
+// pathHops returns the hop count charged to a message from s to d: the
+// number of inter-GPN channel traversals. The crossbar counts as one hop
+// regardless of its two port stages.
+func (t *topology) pathHops(s, d int) int {
+	if t.kind == TopoCrossbar {
+		return 1
+	}
+	i := s*t.n + d
+	return int(t.off[i+1] - t.off[i])
+}
+
+// meshDims factors n into the squarest w×h grid with w ≤ h. Prime n
+// degenerates to a 1×n chain (mesh) or ring (torus), which is still a
+// valid routed topology.
+func meshDims(n int) (w, h int) {
+	w = 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	return w, n / w
+}
+
+// buildTopology precomputes links and routes for kind over n GPNs.
+func buildTopology(kind TopoKind, n int) *topology {
+	t := &topology{kind: kind, n: n}
+	paths := make([][]int32, n*n)
+	switch kind {
+	case TopoCrossbar:
+		// Link IDs: 0..n-1 are per-GPN output ports, n..2n-1 input ports.
+		for g := 0; g < n; g++ {
+			t.names = append(t.names, fmt.Sprintf("xbar_out%d", g))
+		}
+		for g := 0; g < n; g++ {
+			t.names = append(t.names, fmt.Sprintf("xbar_in%d", g))
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s != d {
+					paths[s*n+d] = []int32{int32(s), int32(n + d)}
+				}
+			}
+		}
+		t.maxHops = 1
+	case TopoRing:
+		// Link IDs: 2g is GPN g's clockwise link (g → g+1 mod n), 2g+1
+		// its counter-clockwise link (g → g-1 mod n).
+		if n > 1 {
+			for g := 0; g < n; g++ {
+				t.names = append(t.names, fmt.Sprintf("ring%d_cw", g), fmt.Sprintf("ring%d_ccw", g))
+			}
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				cw, ccw := (d-s+n)%n, (s-d+n)%n
+				var r []int32
+				cur := s
+				if cw <= ccw {
+					for i := 0; i < cw; i++ {
+						r = append(r, int32(2*cur))
+						cur = (cur + 1) % n
+					}
+				} else {
+					for i := 0; i < ccw; i++ {
+						r = append(r, int32(2*cur+1))
+						cur = (cur - 1 + n) % n
+					}
+				}
+				paths[s*n+d] = r
+				if len(r) > t.maxHops {
+					t.maxHops = len(r)
+				}
+			}
+		}
+	case TopoMesh, TopoTorus:
+		t.w, t.h = meshDims(n)
+		t.buildGrid(paths, kind == TopoTorus)
+	default:
+		panic(fmt.Sprintf("network: unknown topology kind %d", int(kind)))
+	}
+	t.off = make([]int32, n*n+1)
+	for i, p := range paths {
+		t.off[i+1] = t.off[i] + int32(len(p))
+		t.routes = append(t.routes, p...)
+	}
+	return t
+}
+
+// grid directions for mesh/torus links, in link-naming order.
+const (
+	dirEast  = iota // +x
+	dirWest         // -x
+	dirNorth        // +y
+	dirSouth        // -y
+)
+
+var dirSuffix = [4]string{"e", "w", "n", "s"}
+
+// buildGrid creates the directed links of a w×h grid (with wrap-around
+// when torus) and the XY dimension-ordered routes.
+func (t *topology) buildGrid(paths [][]int32, torus bool) {
+	w, h, n := t.w, t.h, t.n
+	// dirLink[g][dir] is the link ID leaving node g in dir, -1 if absent.
+	dirLink := make([][4]int32, n)
+	for g := range dirLink {
+		dirLink[g] = [4]int32{-1, -1, -1, -1}
+	}
+	neighbor := func(g, dir int) int {
+		x, y := g%w, g/w
+		switch dir {
+		case dirEast:
+			x++
+		case dirWest:
+			x--
+		case dirNorth:
+			y++
+		case dirSouth:
+			y--
+		}
+		if torus {
+			// A dimension of size 1 has no links (the wrap would be a
+			// self-loop).
+			if dir == dirEast || dir == dirWest {
+				if w == 1 {
+					return -1
+				}
+				x = (x + w) % w
+			} else {
+				if h == 1 {
+					return -1
+				}
+				y = (y + h) % h
+			}
+		} else if x < 0 || x >= w || y < 0 || y >= h {
+			return -1
+		}
+		return y*w + x
+	}
+	prefix := "mesh"
+	if torus {
+		prefix = "torus"
+	}
+	for g := 0; g < n; g++ {
+		for dir := 0; dir < 4; dir++ {
+			if neighbor(g, dir) < 0 {
+				continue
+			}
+			dirLink[g][dir] = int32(len(t.names))
+			t.names = append(t.names, fmt.Sprintf("%s%d_%s", prefix, g, dirSuffix[dir]))
+		}
+	}
+	// steps returns the per-dimension movement plan: direction and count.
+	steps := func(from, to, size, plus, minus int) (int, int) {
+		if from == to {
+			return plus, 0
+		}
+		if !torus {
+			if to > from {
+				return plus, to - from
+			}
+			return minus, from - to
+		}
+		p := (to - from + size) % size
+		if q := size - p; q < p {
+			return minus, q
+		}
+		return plus, p
+	}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			var r []int32
+			cur := s
+			// X fully first, then Y: dimension-ordered routing.
+			dir, cnt := steps(cur%w, d%w, w, dirEast, dirWest)
+			for i := 0; i < cnt; i++ {
+				r = append(r, dirLink[cur][dir])
+				cur = neighbor(cur, dir)
+			}
+			dir, cnt = steps(cur/w, d/w, h, dirNorth, dirSouth)
+			for i := 0; i < cnt; i++ {
+				r = append(r, dirLink[cur][dir])
+				cur = neighbor(cur, dir)
+			}
+			paths[s*n+d] = r
+			if len(r) > t.maxHops {
+				t.maxHops = len(r)
+			}
+		}
+	}
+}

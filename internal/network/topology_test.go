@@ -1,0 +1,365 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"nova/graph"
+	"nova/internal/sim"
+	"nova/program"
+)
+
+func TestParseTopoKind(t *testing.T) {
+	cases := map[string]TopoKind{
+		"":         TopoCrossbar,
+		"crossbar": TopoCrossbar,
+		"xbar":     TopoCrossbar,
+		"ring":     TopoRing,
+		"mesh":     TopoMesh,
+		"torus":    TopoTorus,
+	}
+	for s, want := range cases {
+		got, err := ParseTopoKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseTopoKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseTopoKind("hypercube"); err == nil {
+		t.Error("ParseTopoKind accepted an unknown topology")
+	}
+	for _, name := range TopoKindNames() {
+		k, err := ParseTopoKind(name)
+		if err != nil || k.String() != name {
+			t.Errorf("name %q does not round-trip: %v, %v", name, k, err)
+		}
+	}
+}
+
+func TestMeshDims(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1}, {2, 1, 2}, {4, 2, 2}, {6, 2, 3}, {8, 2, 4}, {9, 3, 3}, {7, 1, 7}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		if w, h := meshDims(c.n); w != c.w || h != c.h {
+			t.Errorf("meshDims(%d) = %d×%d, want %d×%d", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+// pathNames renders a route as link names for readable assertions.
+func pathNames(tp *topology, s, d int) []string {
+	var out []string
+	for _, li := range tp.route(s, d) {
+		out = append(out, tp.names[li])
+	}
+	return out
+}
+
+func eqStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRingRouting(t *testing.T) {
+	tp := buildTopology(TopoRing, 4)
+	cases := []struct {
+		s, d int
+		want []string
+	}{
+		{0, 1, []string{"ring0_cw"}},
+		{0, 3, []string{"ring0_ccw"}},
+		// Equidistant: ties go clockwise.
+		{0, 2, []string{"ring0_cw", "ring1_cw"}},
+		{3, 1, []string{"ring3_cw", "ring0_cw"}},
+		{2, 1, []string{"ring2_ccw"}},
+	}
+	for _, c := range cases {
+		if got := pathNames(tp, c.s, c.d); !eqStrings(got, c.want) {
+			t.Errorf("ring route %d→%d = %v, want %v", c.s, c.d, got, c.want)
+		}
+	}
+	if tp.maxHops != 2 {
+		t.Errorf("4-ring diameter = %d, want 2", tp.maxHops)
+	}
+}
+
+func TestMeshXYRouting(t *testing.T) {
+	// 2×3 grid: node g is (x=g%2, y=g/2).
+	tp := buildTopology(TopoMesh, 6)
+	cases := []struct {
+		s, d int
+		want []string
+	}{
+		// X fully first, then Y.
+		{0, 5, []string{"mesh0_e", "mesh1_n", "mesh3_n"}},
+		{5, 0, []string{"mesh5_w", "mesh4_s", "mesh2_s"}},
+		{4, 1, []string{"mesh4_e", "mesh5_s", "mesh3_s"}},
+		{0, 1, []string{"mesh0_e"}},
+		{2, 0, []string{"mesh2_s"}},
+	}
+	for _, c := range cases {
+		if got := pathNames(tp, c.s, c.d); !eqStrings(got, c.want) {
+			t.Errorf("mesh route %d→%d = %v, want %v", c.s, c.d, got, c.want)
+		}
+	}
+	if tp.maxHops != 3 {
+		t.Errorf("2×3 mesh diameter = %d, want 3", tp.maxHops)
+	}
+}
+
+func TestTorusWrapRouting(t *testing.T) {
+	// 3×3 grid: wrap links make distance-2 moves one hop the other way.
+	tp := buildTopology(TopoTorus, 9)
+	cases := []struct {
+		s, d int
+		want []string
+	}{
+		{0, 2, []string{"torus0_w"}}, // x 0→2 wraps west in one hop
+		{0, 6, []string{"torus0_s"}}, // y 0→2 wraps south in one hop
+		{0, 1, []string{"torus0_e"}},
+		{8, 0, []string{"torus8_e", "torus6_n"}}, // wrap in both dimensions
+	}
+	for _, c := range cases {
+		if got := pathNames(tp, c.s, c.d); !eqStrings(got, c.want) {
+			t.Errorf("torus route %d→%d = %v, want %v", c.s, c.d, got, c.want)
+		}
+	}
+	if tp.maxHops != 2 {
+		t.Errorf("3×3 torus diameter = %d, want 2", tp.maxHops)
+	}
+	// A prime-sized torus degenerates to a ring in the Y dimension: no X
+	// links at all, wrap still works.
+	rp := buildTopology(TopoTorus, 5)
+	if got := pathNames(rp, 0, 4); !eqStrings(got, []string{"torus0_s"}) {
+		t.Errorf("1×5 torus route 0→4 = %v, want wrap south", got)
+	}
+	for _, name := range rp.names {
+		if name[len(name)-1] == 'e' || name[len(name)-1] == 'w' {
+			t.Errorf("1×5 torus has an X link %q", name)
+		}
+	}
+}
+
+func TestCrossbarRouteShape(t *testing.T) {
+	tp := buildTopology(TopoCrossbar, 4)
+	if got := pathNames(tp, 1, 3); !eqStrings(got, []string{"xbar_out1", "xbar_in3"}) {
+		t.Errorf("crossbar route 1→3 = %v", got)
+	}
+	// The two port stages sit inside one switch: a single charged hop.
+	if tp.pathHops(1, 3) != 1 {
+		t.Errorf("crossbar pathHops = %d, want 1", tp.pathHops(1, 3))
+	}
+}
+
+func ringFabric(eng *sim.Engine, gpns int) *Hierarchical {
+	return NewFabric(SharedEngines(eng, gpns), 1, FabricConfig{
+		P2P:      DefaultP2PConfig(),
+		Topology: TopoRing,
+		Link:     LinkConfig{BytesPerCycle: 1, Latency: 10},
+	})
+}
+
+func TestRingSingleHopTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	f := ringFabric(eng, 4)
+	var at sim.Ticks
+	f.Send(0, 1, 8, sim.HandlerFunc(func() { at = eng.Now() }))
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// 8 bytes at 1 B/cy = 8 cycles of serialization + 10 cycles latency.
+	if at != 18 {
+		t.Fatalf("delivered at %d, want 18", at)
+	}
+	st := f.Stats()
+	if st.InterMessages != 1 || st.HopsSum != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingMultiHopTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	f := ringFabric(eng, 4)
+	var at sim.Ticks
+	f.Send(0, 2, 8, sim.HandlerFunc(func() { at = eng.Now() }))
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// Hop 1 finishes at 8; hop 2 starts after 10 cycles of propagation,
+	// serializes 8 more (26), plus the final 10-cycle delivery latency.
+	if at != 36 {
+		t.Fatalf("delivered at %d, want 36", at)
+	}
+	st := f.Stats()
+	if st.HopsSum != 2 || st.InterMessages != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingLookaheadBound(t *testing.T) {
+	eng := sim.NewEngine()
+	f := ringFabric(eng, 4)
+	if f.Lookahead() != 10 {
+		t.Fatalf("lookahead = %d, want the per-hop latency 10", f.Lookahead())
+	}
+	// No delivery may undercut the lookahead: nearest neighbor, 1 byte.
+	var at sim.Ticks
+	f.Send(0, 1, 1, sim.HandlerFunc(func() { at = eng.Now() }))
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	if at < f.Lookahead() {
+		t.Fatalf("delivered at %d, inside the lookahead %d", at, f.Lookahead())
+	}
+}
+
+func TestRoutedExchangeDelivers(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine(), sim.NewEngine(), sim.NewEngine()}
+	f := NewFabric(engines, 1, FabricConfig{
+		P2P:      DefaultP2PConfig(),
+		Topology: TopoRing,
+		Link:     LinkConfig{BytesPerCycle: 1, Latency: 10},
+	})
+	var at sim.Ticks
+	f.Send(0, 2, 8, sim.HandlerFunc(func() { at = engines[2].Now() }))
+	n, err := f.Exchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Exchange delivered %d messages, want 1", n)
+	}
+	if err := engines[2].RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	// Same arithmetic as the shared-engine multi-hop test.
+	if at != 36 {
+		t.Fatalf("delivered at %d, want 36", at)
+	}
+}
+
+// TestConservationInvariant drives an identical synthetic load through
+// every topology × coalescing × engine-sharing combination and asserts the
+// fabric's conservation law: Messages + Coalesced == Send calls. The
+// split between the two varies with topology timing; the sum may not.
+func TestConservationInvariant(t *testing.T) {
+	const gpns, pesPerGPN, vertices = 4, 2, 64
+	kinds := []TopoKind{TopoCrossbar, TopoRing, TopoMesh, TopoTorus}
+	for _, kind := range kinds {
+		for _, window := range []sim.Ticks{0, 8} {
+			for _, shared := range []bool{true, false} {
+				name := fmt.Sprintf("%v/window%d/shared=%v", kind, window, shared)
+				var engines []*sim.Engine
+				if shared {
+					engines = SharedEngines(sim.NewEngine(), gpns)
+				} else {
+					engines = make([]*sim.Engine, gpns)
+					for i := range engines {
+						engines[i] = sim.NewEngine()
+					}
+				}
+				f := NewFabric(engines, pesPerGPN, FabricConfig{
+					P2P:      DefaultP2PConfig(),
+					Crossbar: DefaultCrossbarConfig(),
+					Topology: kind,
+					Coalesce: CoalesceConfig{Window: window},
+					Vertices: vertices,
+				})
+				f.SetMerge(func(a, b program.Prop) program.Prop {
+					if b < a {
+						return b
+					}
+					return a
+				})
+				sends := 0
+				for src := 0; src < gpns*pesPerGPN; src++ {
+					for dst := 0; dst < gpns*pesPerGPN; dst++ {
+						if src/pesPerGPN == dst/pesPerGPN {
+							continue
+						}
+						for k := 0; k < 3; k++ {
+							b := &testBatch{msgs: []program.Message{
+								{Dst: graph.VertexID((dst + k) % vertices), Delta: program.Prop(src)},
+								{Dst: graph.VertexID((dst + k + 7) % vertices), Delta: program.Prop(k)},
+							}}
+							f.Send(src, dst, 8*len(b.msgs), b)
+							sends++
+						}
+					}
+				}
+				// Drain: run every engine (flush timers live on the
+				// senders), exchange buffered messages, run destinations.
+				for round := 0; round < 4; round++ {
+					for _, e := range engines {
+						if err := e.RunUntilQuiet(0); err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+					}
+					if _, err := f.Exchange(); err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+				}
+				f.Finalize()
+				st := f.Stats()
+				if got := st.Messages + st.Coalesced; got != uint64(sends) {
+					t.Errorf("%s: messages %d + coalesced %d = %d, want %d sends",
+						name, st.Messages, st.Coalesced, got, sends)
+				}
+				if window == 0 && st.Coalesced != 0 {
+					t.Errorf("%s: coalesced %d batches with coalescing off", name, st.Coalesced)
+				}
+				if st.InterMessages != st.Messages {
+					t.Errorf("%s: inter %d != messages %d on an all-remote load", name, st.InterMessages, st.Messages)
+				}
+				if st.HopsSum < st.InterMessages {
+					t.Errorf("%s: hops %d < messages %d", name, st.HopsSum, st.InterMessages)
+				}
+			}
+		}
+	}
+}
+
+// TestFinalizeCarriesNewFields checks that the dump-time totals include
+// the hop and coalescing counters contributed by every GPN, not just
+// gpn0 — the shard-summing path of Finalize.
+func TestFinalizeCarriesNewFields(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(SharedEngines(eng, 4), 1, FabricConfig{
+		P2P:      DefaultP2PConfig(),
+		Topology: TopoRing,
+		Link:     LinkConfig{BytesPerCycle: 1, Latency: 10},
+		Coalesce: CoalesceConfig{Window: 4},
+		Vertices: 8,
+	})
+	f.SetMerge(func(a, b program.Prop) program.Prop { return a + b })
+	// Two sources in different GPNs, two batches each to the same remote
+	// destination: each source coalesces one batch and merges one update.
+	for _, src := range []int{0, 2} {
+		dst := (src + 1) % 4
+		for k := 0; k < 2; k++ {
+			b := &testBatch{msgs: []program.Message{{Dst: 5, Delta: 1}}}
+			f.Send(src, dst, 8, b)
+		}
+	}
+	if err := eng.RunUntilQuiet(0); err != nil {
+		t.Fatal(err)
+	}
+	f.Finalize()
+	st := f.Stats()
+	if st.Coalesced != 2 || st.MergedUpdates != 2 {
+		t.Fatalf("coalesced=%d merged=%d, want 2/2 (both GPNs summed)", st.Coalesced, st.MergedUpdates)
+	}
+	if st.BytesSaved != 16 {
+		t.Fatalf("bytes_saved=%d, want 16", st.BytesSaved)
+	}
+	if st.Messages != 2 || st.InterMessages != 2 || st.HopsSum != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -14,6 +14,7 @@ import (
 const (
 	// NOVA accelerator (nova engine).
 	MetricCycles             = core.MetricCycles
+	MetricEventsExecuted     = core.MetricEventsExecuted
 	MetricEdgeUtilization    = core.MetricEdgeUtilization
 	MetricVertexUsefulFrac   = core.MetricVertexUsefulFrac
 	MetricVertexWriteFrac    = core.MetricVertexWriteFrac
@@ -32,6 +33,9 @@ const (
 	MetricMetadataBytes      = core.MetricMetadataBytes
 	MetricNetworkBytes       = core.MetricNetworkBytes
 	MetricNetworkInterBytes  = core.MetricNetworkInterBytes
+	MetricNetworkCoalesced   = core.MetricNetworkCoalesced
+	MetricNetworkBytesSaved  = core.MetricNetworkBytesSaved
+	MetricNetworkAvgHops     = core.MetricNetworkAvgHops
 	MetricLoadImbalance      = core.MetricLoadImbalance
 
 	// PolyGraph baseline (polygraph engine). processing_seconds is shared

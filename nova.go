@@ -21,6 +21,7 @@ import (
 	"nova/graph"
 	"nova/internal/core"
 	"nova/internal/harness"
+	"nova/internal/network"
 	"nova/internal/ref"
 	"nova/internal/sim"
 	"nova/internal/stats"
@@ -48,6 +49,16 @@ type Config struct {
 	// Fabric selects the interconnect: "hierarchical" (Table II) or
 	// "ideal" (infinite-bandwidth point-to-point, Fig. 9c).
 	Fabric string
+	// Topology selects the inter-GPN topology of the hierarchical fabric:
+	// "crossbar" (default, Table II), "ring", "mesh", or "torus".
+	Topology string
+	// CoalesceWindow enables the fabric's in-flight message coalescing
+	// stage: cross-GPN batches wait up to this many core cycles for
+	// further same-destination traffic to merge with (0 disables).
+	CoalesceWindow int64
+	// CoalesceCapacity bounds buffered message entries per destination PE
+	// while a coalescing window is open (0 = network default, 64).
+	CoalesceCapacity int
 	// Mapping selects spatial vertex placement: "random" (default),
 	// "interleave", "load-balanced", or "locality" (Fig. 9b).
 	Mapping string
@@ -117,6 +128,16 @@ func (c Config) coreConfig() (core.Config, error) {
 	default:
 		return cc, fmt.Errorf("nova: unknown fabric %q", c.Fabric)
 	}
+	topo, err := network.ParseTopoKind(c.Topology)
+	if err != nil {
+		return cc, fmt.Errorf("nova: %w", err)
+	}
+	cc.Topology = topo
+	if c.CoalesceWindow < 0 {
+		return cc, fmt.Errorf("nova: CoalesceWindow = %d", c.CoalesceWindow)
+	}
+	cc.CoalesceWindow = sim.Ticks(c.CoalesceWindow)
+	cc.CoalesceCapacity = c.CoalesceCapacity
 	return cc, nil
 }
 
@@ -188,9 +209,15 @@ type Report struct {
 	SpillWrites     uint64
 	StaleRetrievals uint64
 	MetadataBytes   uint64
-	// NetworkBytes and NetworkInterBytes count fabric traffic.
-	NetworkBytes      uint64
-	NetworkInterBytes uint64
+	// NetworkBytes and NetworkInterBytes count fabric traffic;
+	// NetworkMessagesCoalesced and NetworkBytesSaved instrument the
+	// fabric's in-flight coalescing stage, and NetworkAvgHops is the mean
+	// inter-GPN links traversed per cross-GPN message.
+	NetworkBytes             uint64
+	NetworkInterBytes        uint64
+	NetworkMessagesCoalesced uint64
+	NetworkBytesSaved        uint64
+	NetworkAvgHops           float64
 	// LoadImbalance is max(per-PE propagations)/mean (1.0 = balanced).
 	LoadImbalance float64
 	// Shards is the worker-goroutine count the run executed with;
@@ -254,35 +281,45 @@ func (a *Accelerator) RunContext(ctx context.Context, p program.Program, g *grap
 	return reportFromCore(res), err
 }
 
+func avgHops(res *core.Result) float64 {
+	if res.Net.InterMessages == 0 {
+		return 0
+	}
+	return float64(res.Net.HopsSum) / float64(res.Net.InterMessages)
+}
+
 func reportFromCore(res *core.Result) *Report {
 	u, w, waste := res.VertexBWFractions()
 	return &Report{
-		Props:              res.Props,
-		Stats:              res.Stats,
-		Cycles:             uint64(res.Ticks),
-		EdgeUtilization:    res.EdgeUtilization,
-		VertexUsefulFrac:   u,
-		VertexWriteFrac:    w,
-		VertexWastefulFrac: waste,
-		ProcessingSeconds:  res.ProcessingSeconds,
-		OverheadSeconds:    res.OverheadSeconds,
-		CacheHitRate:       res.CacheHitRate,
-		OnChipBytes:        res.OnChipBytes,
-		Spills:             res.VMU.Spills,
-		DirectPushes:       res.VMU.DirectPushes,
-		SpillWrites:        res.VMU.SpillWrites,
-		StaleRetrievals:    res.VMU.StaleRetrievals,
-		MetadataBytes:      res.VMU.MetadataBytes,
-		NetworkBytes:       res.Net.Bytes,
-		NetworkInterBytes:  res.Net.InterBytes,
-		LoadImbalance:      res.LoadImbalance(),
-		Shards:             res.Shards,
-		Windows:            res.Windows,
-		WindowWallSeconds:  res.WindowWallSeconds,
-		BarrierWallSeconds: res.BarrierWallSeconds,
-		Partial:            res.Partial,
-		StopReason:         string(res.StopReason),
-		Dump:               res.Dump,
+		Props:                    res.Props,
+		Stats:                    res.Stats,
+		Cycles:                   uint64(res.Ticks),
+		EdgeUtilization:          res.EdgeUtilization,
+		VertexUsefulFrac:         u,
+		VertexWriteFrac:          w,
+		VertexWastefulFrac:       waste,
+		ProcessingSeconds:        res.ProcessingSeconds,
+		OverheadSeconds:          res.OverheadSeconds,
+		CacheHitRate:             res.CacheHitRate,
+		OnChipBytes:              res.OnChipBytes,
+		Spills:                   res.VMU.Spills,
+		DirectPushes:             res.VMU.DirectPushes,
+		SpillWrites:              res.VMU.SpillWrites,
+		StaleRetrievals:          res.VMU.StaleRetrievals,
+		MetadataBytes:            res.VMU.MetadataBytes,
+		NetworkBytes:             res.Net.Bytes,
+		NetworkInterBytes:        res.Net.InterBytes,
+		NetworkMessagesCoalesced: res.Net.Coalesced,
+		NetworkBytesSaved:        res.Net.BytesSaved,
+		NetworkAvgHops:           avgHops(res),
+		LoadImbalance:            res.LoadImbalance(),
+		Shards:                   res.Shards,
+		Windows:                  res.Windows,
+		WindowWallSeconds:        res.WindowWallSeconds,
+		BarrierWallSeconds:       res.BarrierWallSeconds,
+		Partial:                  res.Partial,
+		StopReason:               string(res.StopReason),
+		Dump:                     res.Dump,
 	}
 }
 
@@ -371,9 +408,10 @@ func (e novaEngine) Name() string { return "nova" }
 
 func (e novaEngine) Fingerprint() string {
 	c := e.acc.cfg
-	return fmt.Sprintf("nova{gpns=%d pes=%d cache=%d sbdim=%d abuf=%d spill=%s fabric=%s mapping=%s seed=%d}",
+	return fmt.Sprintf("nova{gpns=%d pes=%d cache=%d sbdim=%d abuf=%d spill=%s fabric=%s topo=%s coalesce=%d/%d mapping=%s seed=%d}",
 		c.GPNs, c.PEsPerGPN, c.CacheBytesPerPE, c.SuperblockDim, c.ActiveBufferEntries,
 		orDefault(c.Spill, "overwrite"), orDefault(c.Fabric, "hierarchical"),
+		orDefault(c.Topology, "crossbar"), c.CoalesceWindow, c.CoalesceCapacity,
 		orDefault(c.Mapping, "random"), c.Seed)
 }
 

@@ -74,6 +74,14 @@ func (prDelta) Reduce(_ graph.VertexID, cur, delta Prop) Prop {
 	return prPack(prRank(cur), r)
 }
 
+// MergeDelta implements DeltaMerger by summing residuals. Reassociating
+// float32 additions can change final bits relative to an uncoalesced run,
+// but the merged run is itself fully deterministic, and the residual mass
+// is conserved either way.
+func (prDelta) MergeDelta(a, b Prop) Prop {
+	return prPack(0, prResidual(a)+prResidual(b))
+}
+
 // OnPropagate folds the residual into the rank; residuals below tolerance
 // stay pending (and the vertex reactivates when more mass arrives).
 func (d prDelta) OnPropagate(v graph.VertexID, prop Prop) (Prop, Prop) {

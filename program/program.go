@@ -102,6 +102,20 @@ type ScheduledProgram interface {
 	EpochActive(epoch int, g *graph.CSR) []graph.VertexID
 }
 
+// DeltaMerger is implemented by programs whose in-flight deltas can be
+// pre-combined before reaching the destination vertex: MergeDelta must
+// satisfy Reduce(Reduce(cur,a),b) == Reduce(cur, MergeDelta(a,b)) for any
+// cur. The fabric's coalescing stage uses it to fold same-destination-
+// vertex updates waiting for link bandwidth into a single message. The
+// equality is exact for min-style reductions (BFS/SSSP/CC); for
+// floating-point sums (PR-delta) it only reassociates the additions, so
+// results stay deterministic but can differ in final bits from an
+// uncoalesced run.
+type DeltaMerger interface {
+	// MergeDelta combines two deltas addressed to the same vertex.
+	MergeDelta(a, b Prop) Prop
+}
+
 // RunStats aggregates what every engine reports about one execution.
 type RunStats struct {
 	// SimSeconds is the modeled execution time (wall-clock seconds for

@@ -13,6 +13,9 @@ func Synchronous(p Program) BSPProgram {
 	if p.Mode() != Async {
 		panic("program: Synchronous wraps asynchronous programs only")
 	}
+	if m, ok := p.(DeltaMerger); ok {
+		return syncWrapMerger{syncWrap{p}, m}
+	}
 	return syncWrap{p}
 }
 
@@ -45,3 +48,12 @@ func (s syncWrap) Apply(v graph.VertexID, cur, accum Prop, g *graph.CSR) (Prop, 
 }
 
 func (syncWrap) MaxEpochs() int { return 0 }
+
+// syncWrapMerger additionally forwards the inner program's DeltaMerger,
+// so the fabric can keep merging in-flight deltas in BSP mode.
+type syncWrapMerger struct {
+	syncWrap
+	m DeltaMerger
+}
+
+func (s syncWrapMerger) MergeDelta(a, b Prop) Prop { return s.m.MergeDelta(a, b) }

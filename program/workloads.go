@@ -35,6 +35,15 @@ func (bfs) Reduce(_ graph.VertexID, cur, delta Prop) Prop {
 	return cur
 }
 
+// MergeDelta implements DeltaMerger: min-combining in-flight deltas is
+// exact for the monotone min reduction.
+func (bfs) MergeDelta(a, b Prop) Prop {
+	if b < a {
+		return b
+	}
+	return a
+}
+
 func (bfs) Propagate(prop Prop, _ uint32, _ int64) (Prop, bool) {
 	return prop + 1, true
 }
@@ -65,6 +74,14 @@ func (sssp) Reduce(_ graph.VertexID, cur, delta Prop) Prop {
 	return cur
 }
 
+// MergeDelta implements DeltaMerger (exact: min is associative).
+func (sssp) MergeDelta(a, b Prop) Prop {
+	if b < a {
+		return b
+	}
+	return a
+}
+
 func (sssp) Propagate(prop Prop, w uint32, _ int64) (Prop, bool) {
 	return prop + Prop(w), true
 }
@@ -89,6 +106,14 @@ func (cc) Reduce(_ graph.VertexID, cur, delta Prop) Prop {
 		return delta
 	}
 	return cur
+}
+
+// MergeDelta implements DeltaMerger (exact: min is associative).
+func (cc) MergeDelta(a, b Prop) Prop {
+	if b < a {
+		return b
+	}
+	return a
 }
 
 func (cc) Propagate(prop Prop, _ uint32, _ int64) (Prop, bool) {
