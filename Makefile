@@ -31,6 +31,14 @@ BENCH_SHARD_COUNTS ?= 1,2,4
 # committed BENCH_sim.json would gate runner noise, not code).
 BENCH_SHARD_BASE ?= /tmp/BENCH_sim.shardbase.json
 
+BENCH_SERVE_OUT ?= BENCH_serve.json
+# serve-bench load-tests the novad serving path in-process: 50 clients
+# replaying the default grid. Latency drifts with the runner (warn-only)
+# but serve.errors must stay exactly 0.
+BENCH_SERVE_CLIENTS ?= 50
+BENCH_SERVE_ROUNDS  ?= 4
+BENCH_SERVE_CHECK_OUT ?= /tmp/BENCH_serve.fresh.json
+
 # Worker-goroutine count for the spill-stress run (the nightly shard job
 # overrides this; results are bit-identical at every setting).
 SPILL_SHARDS ?= 4
@@ -41,8 +49,8 @@ SPILL_SHARDS ?= 4
 SPILL_TIMEOUT ?= 90m
 
 .PHONY: all build vet test race bench bench-sim bench-check bench-shard \
-	bench-net bench-net-check golden fmt-check stats-md staticcheck \
-	spill-stress chaos
+	bench-net bench-net-check serve-bench serve-bench-check golden \
+	fmt-check stats-md staticcheck spill-stress chaos
 
 all: build vet test
 
@@ -84,6 +92,22 @@ bench-net-check: build
 	$(GO) run ./cmd/netbench -micro-only -o $(BENCH_NET_CHECK_OUT)
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_CHECK_THRESHOLD) -warn-only \
 		-assert-zero 'benchmarks.*allocs_per_event' $(BENCH_NET_OUT) $(BENCH_NET_CHECK_OUT)
+
+# Record the novad serving-path load test (latency quantiles, cache-hit
+# rate, throughput) into BENCH_serve.json; a single failed request fails
+# the target through the loadtest's own exit code.
+serve-bench: build
+	$(GO) run ./cmd/novad loadtest -clients $(BENCH_SERVE_CLIENTS) \
+		-rounds $(BENCH_SERVE_ROUNDS) -out $(BENCH_SERVE_OUT)
+	@cat $(BENCH_SERVE_OUT)
+
+# serve-bench-check compares a fresh load-test record against the
+# checked-in one: latency/throughput drift warns, request errors gate.
+serve-bench-check: build
+	$(GO) run ./cmd/novad loadtest -clients $(BENCH_SERVE_CLIENTS) \
+		-rounds $(BENCH_SERVE_ROUNDS) -out $(BENCH_SERVE_CHECK_OUT)
+	$(GO) run ./cmd/benchdiff -warn-only -assert-zero 'serve.errors' \
+		$(BENCH_SERVE_OUT) $(BENCH_SERVE_CHECK_OUT)
 
 # Measure the sharded cluster kernel (aggregate events/sec across shards)
 # into BENCH_shard.json, then gate: the single-engine cluster fast path

@@ -62,6 +62,14 @@ type CSRFileInfo struct {
 	// RowPtrBytes and EdgeBytes are the section payload sizes.
 	RowPtrBytes int64
 	EdgeBytes   int64
+	// ContentHash is a CRC32C-derived fingerprint of the container's
+	// content: the header checksum, which covers the graph dimensions and
+	// both section checksums, so it changes whenever any row pointer or
+	// edge record differs and is equal for byte-identical payloads. It is
+	// O(1) to obtain (StatCSRFile reads only the header), which is what
+	// lets a result cache key on graph content without rehashing
+	// gigabytes per request.
+	ContentHash uint32
 }
 
 type csrSection struct {
@@ -101,8 +109,9 @@ func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection
 		return info, secs, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, CSRFileVersion)
 	}
 	crcOff := csrFileHeaderSize - 4
-	if got, want := crc32.Checksum(buf[:crcOff], crcTable), binary.LittleEndian.Uint32(buf[crcOff:]); got != want {
-		return info, secs, fmt.Errorf("%w: header checksum mismatch (%#x != %#x)", ErrCorrupt, got, want)
+	headerCRC := crc32.Checksum(buf[:crcOff], crcTable)
+	if want := binary.LittleEndian.Uint32(buf[crcOff:]); headerCRC != want {
+		return info, secs, fmt.Errorf("%w: header checksum mismatch (%#x != %#x)", ErrCorrupt, headerCRC, want)
 	}
 	n := binary.LittleEndian.Uint64(buf[8:16])
 	m := binary.LittleEndian.Uint64(buf[16:24])
@@ -132,6 +141,7 @@ func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection
 		NumEdges:    int64(m),
 		RowPtrBytes: int64(wantRow),
 		EdgeBytes:   int64(wantEdge),
+		ContentHash: headerCRC,
 	}
 	return info, secs, nil
 }
@@ -314,7 +324,8 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 	if err := bw.Flush(); err != nil {
 		return info, err
 	}
-	if _, err := f.WriteAt(headerBytes(n, m, secs), 0); err != nil {
+	hdr := headerBytes(n, m, secs)
+	if _, err := f.WriteAt(hdr, 0); err != nil {
 		return info, err
 	}
 	return CSRFileInfo{
@@ -323,6 +334,7 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 		NumEdges:    m,
 		RowPtrBytes: int64(secs[0].length),
 		EdgeBytes:   int64(secs[1].length),
+		ContentHash: binary.LittleEndian.Uint32(hdr[csrFileHeaderSize-4:]),
 	}, nil
 }
 

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"unsafe"
+)
+
+// MappedCSR is a CSR container opened through the operating system's page
+// cache: the file is mapped read-only and validated in place, and the
+// graph's row-pointer array aliases the mapping directly on little-endian
+// hosts (the on-disk u64 records are exactly the in-memory []int64
+// layout). The interleaved edge section cannot be aliased — Dst and
+// Weight are separate arrays in memory — so edges are decoded once into
+// private slices.
+//
+// The design point is a long-running service: one MappedCSR is opened per
+// registered graph and the *CSR it exposes is shared read-only by every
+// concurrent simulation job, so N in-flight requests cost one copy of the
+// graph, not N. Nothing in the engines mutates a CSR (the type is
+// documented immutable), which is what makes the sharing — and the
+// aliased mapping — safe.
+//
+// Close unmaps the file; the caller must guarantee no simulation still
+// holds the CSR (the service registry refcounts entries for exactly this
+// reason). After Close, touching an aliased RowPtr faults.
+type MappedCSR struct {
+	// G is the shared read-only graph view.
+	G *CSR
+	// Info describes the container (including its ContentHash).
+	Info CSRFileInfo
+	// data is the mapping (or the whole-file read on platforms without
+	// mmap); aliased holds whether G.RowPtr points into data, and backed
+	// whether data is a live kernel mapping rather than a heap copy.
+	data    []byte
+	aliased bool
+	backed  bool
+	unmap   func([]byte) error
+}
+
+// hostIsLittleEndian reports whether native byte order matches the
+// container's on-disk order, which is what permits aliasing the mapped
+// row-pointer section as []int64 without a decode pass.
+func hostIsLittleEndian() bool {
+	var probe [2]byte
+	binary.NativeEndian.PutUint16(probe[:], 1)
+	return probe[0] == 1
+}
+
+// OpenCSRFileMapped opens the versioned container at path via mmap (where
+// the platform supports it; otherwise a whole-file read), verifies every
+// checksum exactly as ReadCSRFile does, and returns the shared graph
+// view. Corruption reports wrap ErrCorrupt; the mapping is released on
+// every error path.
+func OpenCSRFileMapped(path string) (m *MappedCSR, err error) {
+	data, unmap, backed, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			unmap(data)
+		}
+	}()
+	if len(data) < csrFileHeaderSize {
+		return nil, fmt.Errorf("%w: file shorter than header (%d bytes)", ErrCorrupt, len(data))
+	}
+	info, secs, err := parseHeader(data[:csrFileHeaderSize])
+	if err != nil {
+		return nil, err
+	}
+	end := secs[1].off + secs[1].length
+	if uint64(len(data)) < end {
+		return nil, fmt.Errorf("%w: file truncated at %d bytes, sections end at %d", ErrCorrupt, len(data), end)
+	}
+	row := data[secs[0].off : secs[0].off+secs[0].length]
+	edge := data[secs[1].off : secs[1].off+secs[1].length]
+	if got := crc32.Checksum(row, crcTable); got != secs[0].crc {
+		return nil, fmt.Errorf("%w: row-pointer section checksum mismatch", ErrCorrupt)
+	}
+	if got := crc32.Checksum(edge, crcTable); got != secs[1].crc {
+		return nil, fmt.Errorf("%w: edge section checksum mismatch", ErrCorrupt)
+	}
+
+	n, nEdges := info.NumVertices, info.NumEdges
+	g := &CSR{Name: path}
+	aliased := false
+	if hostIsLittleEndian() && len(row) > 0 {
+		g.RowPtr = unsafe.Slice((*int64)(unsafe.Pointer(&row[0])), n+1)
+		aliased = true
+	} else {
+		g.RowPtr = make([]int64, n+1)
+		for i := range g.RowPtr {
+			g.RowPtr[i] = int64(binary.LittleEndian.Uint64(row[i*8:]))
+		}
+	}
+	// Monotonicity still needs checking — the section CRC proves the
+	// bytes are the writer's, not that a crafted file is well-formed.
+	prev := int64(0)
+	for i, v := range g.RowPtr {
+		if v < prev || v > nEdges {
+			return nil, fmt.Errorf("%w: row pointer %d out of order (%d after %d)", ErrCorrupt, i, v, prev)
+		}
+		prev = v
+	}
+	if g.RowPtr[n] != nEdges {
+		return nil, fmt.Errorf("%w: row pointers end at %d, want %d", ErrCorrupt, g.RowPtr[n], nEdges)
+	}
+	g.Dst = make([]VertexID, nEdges)
+	g.Weight = make([]uint32, nEdges)
+	for i := int64(0); i < nEdges; i++ {
+		d := binary.LittleEndian.Uint32(edge[i*csrEdgeRecBytes:])
+		if int(d) >= n {
+			return nil, fmt.Errorf("%w: edge %d: destination %d out of range", ErrCorrupt, i, d)
+		}
+		g.Dst[i] = VertexID(d)
+		g.Weight[i] = binary.LittleEndian.Uint32(edge[i*csrEdgeRecBytes+4:])
+	}
+	return &MappedCSR{G: g, Info: info, data: data, aliased: aliased, backed: backed, unmap: unmap}, nil
+}
+
+// Close releases the mapping. The caller must not touch G (or any slice
+// derived from it) afterwards when the row pointers alias the mapping.
+// Close is idempotent.
+func (m *MappedCSR) Close() error {
+	if m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	if m.aliased {
+		// Detach the aliased view so a use-after-Close on the Go side
+		// fails as an out-of-bounds panic rather than a page fault when
+		// it can (the slice header outlives the mapping either way).
+		m.G.RowPtr = nil
+	}
+	return m.unmap(data)
+}
+
+// Mapped reports whether the container is backed by a live memory mapping
+// (false on platforms without mmap support, where the file was read).
+func (m *MappedCSR) Mapped() bool { return m.data != nil && m.backed }

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package graph
+
+import "os"
+
+// mapFile on platforms without a usable mmap syscall reads the whole file
+// into memory; the MappedCSR API keeps working, it just loses the
+// page-cache sharing (backed=false, Mapped() reports it).
+func mapFile(path string) (data []byte, unmap func([]byte) error, backed bool, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return data, func([]byte) error { return nil }, false, nil
+}

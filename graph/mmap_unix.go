@@ -1,0 +1,37 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns the mapping, its release
+// function, and backed=true. A zero-length file cannot be mapped (and is
+// corrupt anyway — the header alone is larger), so it degrades to an
+// empty slice with a no-op release.
+func mapFile(path string) (data []byte, unmap func([]byte) error, backed bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func([]byte) error { return nil }, false, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, false, fmt.Errorf("graph: %s: %d bytes exceeds address space", path, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	return data, syscall.Munmap, true, nil
+}

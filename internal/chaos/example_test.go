@@ -1,0 +1,37 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+
+	"nova"
+	"nova/graph"
+	"nova/internal/chaos"
+	"nova/internal/harness"
+)
+
+// Wrapping an engine in a chaos.Engine injects one failure mode per run
+// while keeping the harness contract intact: here the Budget fault caps
+// the event budget far below what BFS needs, so the run returns a
+// salvaged partial report with the typed "budget" stop reason instead of
+// an opaque error.
+func ExampleEngine() {
+	acc, err := nova.New(nova.DefaultConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	faulty := &chaos.Engine{Inner: acc.Engine(), Fault: chaos.Budget}
+
+	g := graph.FromStream(graph.NewUniformStream("demo", 400, 4, 16, 1))
+	rep, err := faulty.RunWorkload(context.Background(), harness.Workload{
+		Name: "bfs",
+		G:    g,
+		Root: g.LargestOutDegreeVertex(),
+	})
+	fmt.Printf("err != nil: %v\n", err != nil)
+	fmt.Printf("partial=%v stop_reason=%s\n", rep.Partial, rep.StopReason)
+	// Output:
+	// err != nil: true
+	// partial=true stop_reason=budget
+}

@@ -133,6 +133,14 @@ type Config struct {
 	// engine shards (0 means 1, i.e. fully sequential). Clamped to GPNs;
 	// results are bit-identical at every setting.
 	Shards int
+	// Observer, when non-nil, is the cooperative-stop interrupt Run
+	// attaches instead of building a private one. An external scheduler
+	// supplies it to sample liveness beats (sim.Interrupt.Beats) while
+	// the run executes — the progress signal a serving layer streams to
+	// clients — and to Trip the run from outside the context path. Like
+	// StallTimeout it is excluded from every fingerprint: observation
+	// cannot change simulation results, only when a run stops.
+	Observer *sim.Interrupt
 }
 
 // DefaultConfig returns the Table II system: 8 PEs at 2 GHz per GPN, one

@@ -409,7 +409,10 @@ func (s *System) Run(ctx context.Context, p program.Program) (*Result, error) {
 	}
 	defer s.cluster.Close()
 
-	intr := sim.NewInterrupt()
+	intr := s.cfg.Observer
+	if intr == nil {
+		intr = sim.NewInterrupt()
+	}
 	s.cluster.SetInterrupt(intr, s.cfg.PollEvents)
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,0 +1,46 @@
+package harness_test
+
+import (
+	"context"
+	"fmt"
+
+	"nova/internal/harness"
+)
+
+// A sweep is a batch of independent jobs fanned out over the pool; Map
+// blocks until every job finishes and returns results in submission
+// order regardless of which worker ran what.
+func ExampleMap() {
+	pool := &harness.Pool{Workers: 4}
+	jobs := make([]harness.Job[int], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = harness.Job[int]{
+			Name: fmt.Sprintf("cell-%d", i),
+			Run:  func(ctx context.Context) (int, error) { return i * i, nil },
+		}
+	}
+	results := harness.Map(context.Background(), pool, jobs)
+	for _, r := range results {
+		fmt.Print(r.Value, " ")
+	}
+	fmt.Println()
+	// Output: 0 1 4 9 16
+}
+
+// A Queue serves one-at-a-time submissions (the novad daemon's intake
+// path): each Submit returns immediately with a channel that delivers the
+// job's result, and a full backlog rejects new work with ErrQueueFull
+// instead of queueing without bound.
+func ExampleQueue() {
+	q := harness.NewQueue[string](&harness.Pool{Workers: 2}, 8)
+	defer q.Close()
+
+	ch := q.Submit(context.Background(), harness.Job[string]{
+		Name: "greet",
+		Run:  func(ctx context.Context) (string, error) { return "hello", nil },
+	})
+	r := <-ch
+	fmt.Println(r.Value, r.Err)
+	// Output: hello <nil>
+}

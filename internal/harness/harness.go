@@ -20,7 +20,8 @@ import (
 // graph with its traversal root. GT (the transpose) is needed only for
 // "bc"; "cc" expects a symmetrized graph in G.
 type Workload struct {
-	// Name is one of "bfs", "sssp", "cc", "pr", "bc".
+	// Name is one of "bfs", "sssp", "cc", "pr", "bc", or the nova-only
+	// spill-stress workload "prdelta".
 	Name string
 	// G is the graph to process (symmetrized for "cc").
 	G *graph.CSR

@@ -24,6 +24,11 @@ type Job[T any] struct {
 	// cancelled or the job times out; long-running jobs should check it
 	// between phases when they can.
 	Run func(ctx context.Context) (T, error)
+	// OnStart, when non-nil, is invoked on the worker immediately before
+	// Run — the queued→running lifecycle transition. Job trackers (the
+	// novad service) use it to timestamp dispatch; it must return
+	// quickly, since it runs on the job's critical path.
+	OnStart func()
 }
 
 // Result pairs a job's value with its error and wall-clock cost. Results
@@ -175,6 +180,9 @@ func runJob[T any](ctx context.Context, job Job[T], timeout, grace time.Duration
 		var cancel context.CancelFunc
 		jctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+	if job.OnStart != nil {
+		job.OnStart()
 	}
 	start := time.Now()
 	ch := make(chan Result[T], 1)

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ErrQueueFull is wrapped into a Result when a Submit finds the queue's
+// backlog at capacity — the backpressure signal a serving layer maps to
+// "try again later" (HTTP 503) instead of letting memory grow unbounded
+// under overload.
+var ErrQueueFull = errors.New("harness: queue backlog full")
+
+// ErrQueueClosed is wrapped into a Result when a job is submitted after
+// Close.
+var ErrQueueClosed = errors.New("harness: queue closed")
+
+// Queue is the daemon-shaped counterpart of Map: a long-lived intake that
+// accepts jobs one at a time and runs them on a fixed worker set, with
+// the same per-job timeout, cooperative-cancellation, abandon-grace, and
+// panic-capture semantics (both paths share runJob). Map serves the batch
+// world — a sweep known up front, results in submission order; Queue
+// serves the service world — jobs arrive independently, each caller waits
+// on its own result channel, and a bounded backlog provides backpressure.
+//
+// A Queue is safe for concurrent Submit calls.
+type Queue[T any] struct {
+	pool *Pool
+	subs chan queued[T]
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	closed    bool
+	submitted int
+	done      int
+}
+
+type queued[T any] struct {
+	ctx   context.Context
+	job   Job[T]
+	index int
+	out   chan Result[T]
+}
+
+// NewQueue starts the worker goroutines and returns the running queue.
+// Workers and per-job defaults come from p (nil = the zero Pool:
+// GOMAXPROCS workers, unbounded jobs); backlog bounds queued-but-not-
+// running jobs (≤0 = workers, the minimum useful depth). The pool's
+// OnDone hook fires serially as jobs complete, with Done counting
+// completions and Total the submissions observed so far.
+func NewQueue[T any](p *Pool, backlog int) *Queue[T] {
+	if p == nil {
+		p = &Pool{}
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog <= 0 {
+		backlog = workers
+	}
+	q := &Queue[T]{pool: p, subs: make(chan queued[T], backlog)}
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go func() {
+			defer q.wg.Done()
+			for s := range q.subs {
+				timeout := s.job.Timeout
+				if timeout == 0 {
+					timeout = p.JobTimeout
+				}
+				r := runJob(s.ctx, s.job, timeout, p.AbandonGrace)
+				q.mu.Lock()
+				q.done++
+				if p.OnDone != nil {
+					p.OnDone(Event{Index: s.index, Done: q.done, Total: q.submitted,
+						Name: r.Name, Err: r.Err, Elapsed: r.Elapsed})
+				}
+				q.mu.Unlock()
+				s.out <- r
+			}
+		}()
+	}
+	return q
+}
+
+// Submit enqueues one job and returns a 1-buffered channel that will
+// receive exactly one Result — immediately with a typed error when the
+// queue is closed or its backlog is full, otherwise when the job
+// completes. ctx governs the job exactly as in Map: cancelled while
+// queued, the job reports ctx.Err() without running; cancelled while
+// running, the engines stop cooperatively and report their own (possibly
+// partial) result.
+func (q *Queue[T]) Submit(ctx context.Context, job Job[T]) <-chan Result[T] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan Result[T], 1)
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		out <- Result[T]{Name: job.Name, Err: fmt.Errorf("harness: job %q: %w", job.Name, ErrQueueClosed)}
+		return out
+	}
+	index := q.submitted
+	select {
+	case q.subs <- queued[T]{ctx: ctx, job: job, index: index, out: out}:
+		q.submitted++
+		q.mu.Unlock()
+	default:
+		q.mu.Unlock()
+		out <- Result[T]{Name: job.Name, Err: fmt.Errorf("harness: job %q: %w", job.Name, ErrQueueFull)}
+	}
+	return out
+}
+
+// Close stops intake and waits for every accepted job to finish. Jobs
+// already queued still run (cancel their contexts first for a fast
+// shutdown); later Submits fail with ErrQueueClosed. Close is idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.subs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,141 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestQueueRunsSubmittedJobs(t *testing.T) {
+	q := NewQueue[int](&Pool{Workers: 4}, 64)
+	defer q.Close()
+	const n = 50
+	chans := make([]<-chan Result[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		chans[i] = q.Submit(context.Background(), Job[int]{
+			Name: "job",
+			Run:  func(ctx context.Context) (int, error) { return i * i, nil },
+		})
+	}
+	for i, ch := range chans {
+		r := <-ch
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Value != i*i {
+			t.Fatalf("job %d: got %d, want %d", i, r.Value, i*i)
+		}
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	q := NewQueue[int](&Pool{Workers: 1}, 1)
+	// LIFO: unblock the running job before Close waits on it.
+	defer q.Close()
+	defer close(block)
+	// One running (worker busy) + one queued fills the queue; the third
+	// submit must be rejected with the typed backpressure error.
+	running := make(chan struct{})
+	first := q.Submit(context.Background(), Job[int]{Name: "running", Run: func(ctx context.Context) (int, error) {
+		close(running)
+		<-block
+		return 0, nil
+	}})
+	<-running
+	second := q.Submit(context.Background(), Job[int]{Name: "queued", Run: func(ctx context.Context) (int, error) { return 0, nil }})
+	r := <-q.Submit(context.Background(), Job[int]{Name: "rejected", Run: func(ctx context.Context) (int, error) { return 0, nil }})
+	if !errors.Is(r.Err, ErrQueueFull) {
+		t.Fatalf("overflow submit: got %v, want ErrQueueFull", r.Err)
+	}
+	_ = first
+	_ = second
+}
+
+func TestQueueCancelWhileQueued(t *testing.T) {
+	block := make(chan struct{})
+	q := NewQueue[int](&Pool{Workers: 1}, 4)
+	defer q.Close()
+	running := make(chan struct{})
+	q.Submit(context.Background(), Job[int]{Name: "running", Run: func(ctx context.Context) (int, error) {
+		close(running)
+		<-block
+		return 0, nil
+	}})
+	<-running
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedCh := q.Submit(ctx, Job[int]{Name: "victim", Run: func(ctx context.Context) (int, error) {
+		t.Error("cancelled-while-queued job ran")
+		return 0, nil
+	}})
+	cancel()
+	close(block)
+	r := <-queuedCh
+	if !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", r.Err)
+	}
+}
+
+func TestQueueClosedRejects(t *testing.T) {
+	q := NewQueue[int](&Pool{Workers: 1}, 1)
+	q.Close()
+	r := <-q.Submit(context.Background(), Job[int]{Name: "late", Run: func(ctx context.Context) (int, error) { return 1, nil }})
+	if !errors.Is(r.Err, ErrQueueClosed) {
+		t.Fatalf("got %v, want ErrQueueClosed", r.Err)
+	}
+	q.Close() // idempotent
+}
+
+func TestQueueOnStartAndOnDone(t *testing.T) {
+	var started atomic.Int32
+	var mu sync.Mutex
+	doneEvents := 0
+	q := NewQueue[int](&Pool{Workers: 2, OnDone: func(ev Event) {
+		mu.Lock()
+		doneEvents++
+		mu.Unlock()
+	}}, 16)
+	defer q.Close()
+	var chans []<-chan Result[int]
+	for i := 0; i < 8; i++ {
+		chans = append(chans, q.Submit(context.Background(), Job[int]{
+			Name:    "j",
+			OnStart: func() { started.Add(1) },
+			Run:     func(ctx context.Context) (int, error) { return 1, nil },
+		}))
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+	if got := started.Load(); got != 8 {
+		t.Fatalf("OnStart fired %d times, want 8", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if doneEvents != 8 {
+		t.Fatalf("OnDone fired %d times, want 8", doneEvents)
+	}
+}
+
+func TestQueueTimeoutSalvage(t *testing.T) {
+	q := NewQueue[string](&Pool{Workers: 1, AbandonGrace: 5 * time.Second}, 4)
+	defer q.Close()
+	r := <-q.Submit(context.Background(), Job[string]{
+		Name:    "slow",
+		Timeout: 30 * time.Millisecond,
+		Run: func(ctx context.Context) (string, error) {
+			<-ctx.Done() // cooperative engine: observe and salvage
+			return "partial", ctx.Err()
+		},
+	})
+	if !errors.Is(r.Err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", r.Err)
+	}
+	if r.Value != "partial" {
+		t.Fatalf("salvaged value %q, want %q", r.Value, "partial")
+	}
+}

@@ -1,0 +1,77 @@
+package service_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nova/graph"
+	"nova/internal/service"
+)
+
+// A Server is the whole novad daemon minus the listener: register a
+// graph, submit a job against it, and poll until it finishes. The second
+// identical submission is served from the result cache without running
+// the simulator — Cached is the tell.
+func ExampleServer() {
+	srv := service.NewServer(service.Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Build a small deterministic graph container and register it.
+	dir, err := os.MkdirTemp("", "novad-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "example.csr")
+	st := graph.NewUniformStream("example", 500, 4, 16, 1)
+	if _, err := graph.BuildCSRFile(path, st, graph.BuildOptions{}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := srv.Registry().Register("example", path); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	submit := func() service.JobStatus {
+		body, _ := json.Marshal(service.JobRequest{
+			Engine: "nova", Workload: "bfs", Graph: "example",
+		})
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Println(err)
+			return service.JobStatus{}
+		}
+		defer resp.Body.Close()
+		var stj service.JobStatus
+		_ = json.NewDecoder(resp.Body).Decode(&stj)
+		for stj.State == service.JobQueued || stj.State == service.JobRunning {
+			time.Sleep(5 * time.Millisecond)
+			r, err := http.Get(ts.URL + "/jobs/" + stj.ID)
+			if err != nil {
+				fmt.Println(err)
+				return stj
+			}
+			_ = json.NewDecoder(r.Body).Decode(&stj)
+			r.Body.Close()
+		}
+		return stj
+	}
+
+	cold := submit()
+	warm := submit()
+	fmt.Printf("cold: state=%s cached=%v\n", cold.State, cold.Cached)
+	fmt.Printf("warm: state=%s cached=%v\n", warm.State, warm.Cached)
+	// Output:
+	// cold: state=done cached=false
+	// warm: state=done cached=true
+}

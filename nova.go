@@ -74,6 +74,14 @@ type Config struct {
 	// engine shards (0 or 1 = sequential). Clamped to GPNs; results are
 	// bit-identical at every setting.
 	Shards int
+	// Observer, when non-nil, is attached as the run's cooperative-stop
+	// interrupt instead of a private one, so an external scheduler (the
+	// novad service) can sample liveness beats while the simulation
+	// executes and trip it from outside the context path. Excluded from
+	// the engine fingerprint, like StallTimeout: observation cannot
+	// affect results, so two runs differing only in Observer are
+	// cache-equivalent.
+	Observer *sim.Interrupt
 }
 
 // DefaultConfig returns a single-GPN Table II system with random vertex
@@ -112,6 +120,7 @@ func (c Config) coreConfig() (core.Config, error) {
 	cc.MaxEvents = c.MaxEvents
 	cc.StallTimeout = c.StallTimeout
 	cc.Shards = c.Shards
+	cc.Observer = c.Observer
 	switch c.Spill {
 	case "", "overwrite":
 		cc.Spill = core.SpillOverwrite
