@@ -41,15 +41,24 @@ func main() {
 	stream := flag.Bool("stream", false, "generate via the constant-memory streaming generators")
 	out := flag.String("o", "", "write the binary CSR container to FILE")
 	chunkEdges := flag.Int64("chunk-edges", 0, "scatter-buffer budget for streaming container builds (0 = default)")
+	partitionEdges := flag.Int64("partition-edges", 0, "if >0, write the partitioned container layout with at most this many edges per vertex interval (pageable via novasim -partition-cache)")
 	info := flag.String("info", "", "print the header of a binary CSR container and exit")
 	flag.Parse()
 
 	if *info != "" {
 		fi, err := graph.StatCSRFile(*info)
 		check(err)
-		fmt.Printf("%s: format v%d, V=%d E=%d, rowptr %d bytes, edges %d bytes\n",
-			*info, fi.Version, fi.NumVertices, fi.NumEdges, fi.RowPtrBytes, fi.EdgeBytes)
+		layout := "flat"
+		if fi.Partitioned {
+			layout = fmt.Sprintf("partitioned x%d", fi.NumPartitions)
+		}
+		fmt.Printf("%s: format v%d (%s), V=%d E=%d, rowptr %d bytes, edges %d bytes\n",
+			*info, fi.Version, layout, fi.NumVertices, fi.NumEdges, fi.RowPtrBytes, fi.EdgeBytes)
 		return
+	}
+	if *partitionEdges > 0 && *out == "" {
+		fmt.Fprintln(os.Stderr, "graphgen: -partition-edges shapes the container layout; add -o FILE")
+		os.Exit(1)
 	}
 
 	var st graph.EdgeStream
@@ -71,10 +80,14 @@ func main() {
 	// the file in bounded chunks — the only path that never materializes
 	// the graph, so it is what the large tier uses.
 	if *out != "" && *stream {
-		fi, err := graph.BuildCSRFile(*out, st, graph.BuildOptions{ChunkEdges: *chunkEdges})
+		fi, err := graph.BuildCSRFile(*out, st, graph.BuildOptions{ChunkEdges: *chunkEdges, PartitionEdges: *partitionEdges})
 		check(err)
-		fmt.Fprintf(os.Stderr, "%s: V=%d E=%d written to %s (constant-memory build)\n",
-			st.Name(), fi.NumVertices, fi.NumEdges, *out)
+		layout := ""
+		if fi.Partitioned {
+			layout = fmt.Sprintf(", %d partitions", fi.NumPartitions)
+		}
+		fmt.Fprintf(os.Stderr, "%s: V=%d E=%d written to %s (constant-memory build%s)\n",
+			st.Name(), fi.NumVertices, fi.NumEdges, *out, layout)
 		return
 	}
 
@@ -97,8 +110,14 @@ func main() {
 	}
 
 	if *out != "" {
-		check(graph.WriteCSRFile(*out, g))
-		fmt.Fprintf(os.Stderr, "container written to %s\n", *out)
+		if *partitionEdges > 0 {
+			fi, err := graph.WritePartitionedCSRFile(*out, g, *partitionEdges)
+			check(err)
+			fmt.Fprintf(os.Stderr, "partitioned container written to %s (%d partitions)\n", *out, fi.NumPartitions)
+		} else {
+			check(graph.WriteCSRFile(*out, g))
+			fmt.Fprintf(os.Stderr, "container written to %s\n", *out)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "%s: V=%d E=%d avg-deg=%.2f max-deg=%d footprint=%d bytes\n",

@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	engine := flag.String("engine", "nova", "nova|polygraph|ligra, comma-separated list, or all")
+	engine := flag.String("engine", "nova", "nova|polygraph|ligra|extmem, comma-separated list, or all")
 	workload := flag.String("workload", "bfs", "bfs|sssp|cc|pr|bc|prdelta, comma-separated list, or all")
 	graphName := flag.String("graph", "twitter", "road|twitter|friendster|host|urand")
 	scaleFlag := flag.String("scale", "small", "small|medium|full|large")
@@ -54,8 +54,14 @@ func main() {
 	coalesceWindow := flag.Int64("coalesce-window", 0, "in-fabric coalescing window in cycles (0 = off; nova engine, hierarchical fabric)")
 	coalesceCap := flag.Int("coalesce-cap", 0, "coalescing buffer capacity in message entries (0 = default; requires -coalesce-window)")
 	prIters := flag.Int("pr-iters", 10, "PageRank iterations")
+	outOfCore := flag.Bool("out-of-core", false, "enable the SSD-backed out-of-core tier (nova engine): vertex blocks outside the resident window pay a modeled page-in")
+	ssdPreset := flag.String("ssd", "", "SSD timing preset for paging engines: nvme (default) or sata")
+	ssdResidentPages := flag.Int("ssd-resident-pages", 0, "per-PE SSD resident window in pages (nova engine, requires -out-of-core; 0 = default)")
+	extmemRAM := flag.Int64("extmem-ram", 0, "DRAM partition-cache budget in bytes for the extmem engine (0 = default 256 MiB)")
+	extmemPartEdges := flag.Int64("extmem-part-edges", 0, "target edges per vertex interval for the extmem engine (0 = default 1Mi)")
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
 	graphFile := flag.String("graph-file", "", "load graph from a file instead of the registry (.csr = binary CSR container, else edge list)")
+	partitionCache := flag.Int("partition-cache", 0, "page a partitioned .csr -graph-file through a bounded partition cache of this many resident partitions (0 = load normally)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON file (nova engine only)")
 	statsOut := flag.String("stats-out", "", "write the merged statistics dump to FILE (.json, .csv, or .txt by extension)")
 	jobsN := flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent cells in sweep mode")
@@ -73,12 +79,15 @@ func main() {
 	defer stopSignals()
 	context.AfterFunc(ctx, stopSignals)
 
-	engines := splitList(*engine, []string{"nova", "polygraph", "ligra"})
+	engines := splitList(*engine, []string{"nova", "polygraph", "ligra", "extmem"})
 	workloads := splitList(*workload, nova.WorkloadNames)
 	// Reject inconsistent fabric knobs before touching any dataset: graph
 	// construction at the larger scales is the expensive part of a run,
 	// and a bad flag combination should fail in milliseconds, not minutes.
 	check(validateFabricFlags(engines, *fabric, *topology, *coalesceWindow, *coalesceCap))
+	oc := oocFlags{outOfCore: *outOfCore, ssdPreset: *ssdPreset, ssdResidentPages: *ssdResidentPages,
+		extmemRAM: *extmemRAM, extmemPartEdges: *extmemPartEdges}
+	check(validateOOCFlags(engines, oc))
 
 	scale, err := exp.ParseScale(*scaleFlag)
 	check(err)
@@ -88,8 +97,11 @@ func main() {
 		if strings.HasSuffix(*graphFile, ".csr") {
 			// The versioned binary CSR container: checksummed, loaded in
 			// constant memory (graphgen -o writes it).
-			loaded, err = graph.ReadCSRFile(*graphFile)
+			loaded, err = loadCSRFile(*graphFile, *partitionCache)
 		} else {
+			if *partitionCache > 0 {
+				check(fmt.Errorf("-partition-cache pages the partitioned .csr container; %q is an edge list", *graphFile))
+			}
 			var f *os.File
 			f, err = os.Open(*graphFile)
 			check(err)
@@ -99,6 +111,9 @@ func main() {
 		check(err)
 		d = &exp.Dataset{Name: loaded.Name, Graph: loaded, Root: loaded.LargestOutDegreeVertex()}
 	} else {
+		if *partitionCache > 0 {
+			check(fmt.Errorf("-partition-cache applies to a partitioned -graph-file, not registry graphs"))
+		}
 		d, err = exp.DatasetByName(scale, *graphName)
 		check(err)
 	}
@@ -107,7 +122,7 @@ func main() {
 	// every cell's dump lands in one merged, engine.workload-prefixed file.
 	if len(engines)*len(workloads) > 1 || *statsOut != "" {
 		fc := fabricFlags{fabric: *fabric, topology: *topology, coalesceWindow: *coalesceWindow, coalesceCap: *coalesceCap}
-		runSweep(ctx, scale, d, engines, workloads, *gpns, *mapping, *spill, fc, *prIters, *jobsN, *timeout, *statsOut)
+		runSweep(ctx, scale, d, engines, workloads, *gpns, *mapping, *spill, fc, oc, *prIters, *jobsN, *timeout, *statsOut)
 		return
 	}
 
@@ -135,6 +150,7 @@ func main() {
 		cfg.Topology = *topology
 		cfg.CoalesceWindow = *coalesceWindow
 		cfg.CoalesceCapacity = *coalesceCap
+		oc.apply(&cfg)
 		acc, err := nova.New(cfg)
 		check(err)
 		if *tracePath != "" {
@@ -177,6 +193,25 @@ func main() {
 			}
 		}
 		printOutcome(out)
+		exitPartial(out)
+	case "extmem":
+		em := oc.extmem()
+		out, err := nova.RunWorkloadContext(ctx, em, *workload, g, gT, d.Root, *prIters)
+		checkPartial(out, err)
+		if p := singleProgram(*workload, d, *prIters); p != nil && !out.Partial {
+			rep, rerr := em.Run(p, g)
+			if rerr == nil {
+				fmt.Printf("partitions=%d rounds=%d loads=%d paged=%d B io-stall=%.1f%% hit-rate=%.1f%%\n",
+					rep.Partitions, rep.Rounds, rep.PartitionLoads, rep.BytesPaged,
+					100*float64(rep.IOStallCycles)/float64(max64(int64(rep.Cycles), 1)),
+					100*rep.CacheHitRate)
+			}
+		}
+		printOutcome(out)
+		if *verify && !out.Partial && out.Props != nil && (*workload == "bfs" || *workload == "sssp" || *workload == "cc") {
+			check(nova.Verify(*workload, g, d.Root, out.Props))
+			fmt.Println("verified against sequential oracle: OK")
+		}
 		exitPartial(out)
 	case "ligra":
 		sw := &nova.Software{}
@@ -279,6 +314,103 @@ type fabricFlags struct {
 	coalesceCap    int
 }
 
+// oocFlags bundles the out-of-core knobs: the nova engine's SSD tier and
+// the extmem baseline's partition-cache geometry.
+type oocFlags struct {
+	outOfCore        bool
+	ssdPreset        string
+	ssdResidentPages int
+	extmemRAM        int64
+	extmemPartEdges  int64
+}
+
+// apply stamps the nova-engine out-of-core settings into cfg.
+func (oc oocFlags) apply(cfg *nova.Config) {
+	cfg.OutOfCore = oc.outOfCore
+	if oc.outOfCore {
+		cfg.SSDPreset = oc.ssdPreset
+		cfg.SSDResidentPages = oc.ssdResidentPages
+	}
+}
+
+// extmem assembles the external-memory baseline from the flags.
+func (oc oocFlags) extmem() *nova.ExternalMemory {
+	return &nova.ExternalMemory{RAMBytes: oc.extmemRAM, PartitionEdges: oc.extmemPartEdges, SSDPreset: oc.ssdPreset}
+}
+
+// validateOOCFlags rejects out-of-core knobs that the selected engines
+// would silently ignore, before any dataset is built.
+func validateOOCFlags(engines []string, oc oocFlags) error {
+	switch oc.ssdPreset {
+	case "", "nvme", "sata":
+	default:
+		return fmt.Errorf("-ssd %q: the SSD presets are nvme and sata", oc.ssdPreset)
+	}
+	if oc.ssdResidentPages > 0 && !oc.outOfCore {
+		return fmt.Errorf("-ssd-resident-pages sizes the out-of-core resident window; add -out-of-core")
+	}
+	if oc.ssdResidentPages < 0 {
+		return fmt.Errorf("-ssd-resident-pages %d: the window is a page count and cannot be negative", oc.ssdResidentPages)
+	}
+	if oc.extmemRAM < 0 || oc.extmemPartEdges < 0 {
+		return fmt.Errorf("-extmem-ram/-extmem-part-edges cannot be negative")
+	}
+	has := func(name string) bool {
+		for _, e := range engines {
+			if e == name {
+				return true
+			}
+		}
+		return false
+	}
+	if (oc.outOfCore || oc.ssdResidentPages > 0) && !has("nova") {
+		return fmt.Errorf("-out-of-core applies to the nova engine only; engines %v would silently ignore it (add nova to -engine)", engines)
+	}
+	if (oc.extmemRAM > 0 || oc.extmemPartEdges > 0) && !has("extmem") {
+		return fmt.Errorf("-extmem-ram/-extmem-part-edges apply to the extmem engine only; engines %v would silently ignore them (add extmem to -engine)", engines)
+	}
+	if oc.ssdPreset != "" && !oc.outOfCore && !has("extmem") {
+		return fmt.Errorf("-ssd picks the paging device for -out-of-core nova or the extmem engine; neither is selected")
+	}
+	return nil
+}
+
+// loadCSRFile loads a binary CSR container. A partitioned container with
+// -partition-cache set is paged through a bounded PartitionedCSR — the
+// process never holds more than the cache's worth of partitions while
+// assembling the graph — and the pager traffic is reported; the result is
+// bit-identical to a flat load at every cache size.
+func loadCSRFile(path string, partitionCache int) (*graph.CSR, error) {
+	info, err := graph.StatCSRFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !info.Partitioned {
+		if partitionCache > 0 {
+			return nil, fmt.Errorf("-partition-cache needs a partitioned container; %s is flat (rebuild with graphgen -partition-edges)", path)
+		}
+		return graph.ReadCSRFile(path)
+	}
+	if partitionCache <= 0 {
+		// Partitioned containers load fine through the flat reader; paging
+		// is opt-in via -partition-cache.
+		return graph.ReadCSRFile(path)
+	}
+	pc, err := graph.OpenPartitionedCSR(path, partitionCache)
+	if err != nil {
+		return nil, err
+	}
+	defer pc.Close()
+	g, err := pc.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	st := pc.Stats()
+	fmt.Fprintf(os.Stderr, "paged %s: %d partitions through a %d-slot cache (loads=%d evictions=%d, %d B paged, mmap=%v)\n",
+		path, pc.NumPartitions(), partitionCache, st.Loads, st.Evictions, st.BytesPaged, pc.Mapped())
+	return g, nil
+}
+
 // validateFabricFlags rejects inconsistent -fabric/-topology/-coalesce-*
 // combinations before any dataset is built. The topology and coalescing
 // stage live in the nova engine's hierarchical fabric, so they are
@@ -316,7 +448,7 @@ func validateFabricFlags(engines []string, fabric, topology string, window int64
 }
 
 // buildEngine assembles one harness engine from the command-line knobs.
-func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill string, fc fabricFlags) (harness.Engine, error) {
+func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill string, fc fabricFlags, oc oocFlags) (harness.Engine, error) {
 	switch name {
 	case "nova":
 		cfg := exp.NOVAConfig(scale, gpns)
@@ -326,11 +458,14 @@ func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill string, 
 		cfg.Topology = fc.topology
 		cfg.CoalesceWindow = fc.coalesceWindow
 		cfg.CoalesceCapacity = fc.coalesceCap
+		oc.apply(&cfg)
 		return exp.NovaEngineWith(cfg)
 	case "polygraph":
 		return exp.PGEngine(scale), nil
 	case "ligra":
 		return exp.LigraEngine(), nil
+	case "extmem":
+		return oc.extmem().Engine(), nil
 	default:
 		return nil, fmt.Errorf("unknown engine %q", name)
 	}
@@ -341,12 +476,12 @@ func buildEngine(name string, scale exp.Scale, gpns int, mapping, spill string, 
 // cost of the sweep vs its sequential equivalent. Cancelling ctx (Ctrl-C)
 // stops running cells cooperatively; their salvaged partial reports are
 // rendered, flushed to -stats-out marked partial, and fail the process.
-func runSweep(ctx context.Context, scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill string, fc fabricFlags, prIters, jobsN int, timeout time.Duration, statsOut string) {
+func runSweep(ctx context.Context, scale exp.Scale, d *exp.Dataset, engines, workloads []string, gpns int, mapping, spill string, fc fabricFlags, oc oocFlags, prIters, jobsN int, timeout time.Duration, statsOut string) {
 	fmt.Printf("graph %s: %d vertices, %d edges (avg deg %.1f)\n",
 		d.Graph.Name, d.Graph.NumVertices(), d.Graph.NumEdges(), d.Graph.AvgDegree())
 	var jobs []harness.Job[*harness.Report]
 	for _, en := range engines {
-		eng, err := buildEngine(en, scale, gpns, mapping, spill, fc)
+		eng, err := buildEngine(en, scale, gpns, mapping, spill, fc, oc)
 		check(err)
 		for _, w := range workloads {
 			eng, w := eng, w

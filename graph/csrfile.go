@@ -42,13 +42,27 @@ const CSRFileVersion = 1
 var csrFileMagic = [4]byte{'N', 'V', 'C', '1'}
 
 const (
-	csrFileSections   = 2 // rowptr, edges
+	csrFileSections   = 2 // rowptr, edges (flat) or table, payload (partitioned)
 	csrFileHeaderSize = 4 + 2 + 2 + 8 + 8 + csrFileSections*(8+8+4+4) + 4
 	csrEdgeRecBytes   = 8
 	// csrMaxVertices / csrMaxEdges bound header plausibility checks so a
 	// corrupt size field cannot drive allocation.
 	csrMaxVertices = 1 << 32
 	csrMaxEdges    = 1 << 40
+)
+
+// Header flag bits. Readers reject unknown bits so a future layout cannot
+// be misparsed as one of today's; flat containers written before the flag
+// existed carry 0 and parse unchanged.
+const (
+	// csrFlagPartitioned marks the partitioned layout (csrpart.go):
+	// section 0 is a partition table instead of the row pointers, and
+	// section 1 interleaves per-partition row-pointer and edge slabs, each
+	// pair carrying its own CRC32C so one vertex interval can be paged in
+	// and verified without touching the rest of the file.
+	csrFlagPartitioned = 1 << 0
+
+	csrKnownFlags = csrFlagPartitioned
 )
 
 // crcTable is the Castagnoli polynomial (hardware-accelerated on amd64).
@@ -62,6 +76,12 @@ type CSRFileInfo struct {
 	// RowPtrBytes and EdgeBytes are the section payload sizes.
 	RowPtrBytes int64
 	EdgeBytes   int64
+	// Partitioned reports the partitioned layout (csrpart.go): the payload
+	// is split into contiguous vertex-interval partitions, each carrying
+	// its own row-pointer and edge CRC32C so it can be paged in and
+	// verified independently. NumPartitions is zero for flat containers.
+	Partitioned   bool
+	NumPartitions int
 	// ContentHash is a CRC32C-derived fingerprint of the container's
 	// content: the header checksum, which covers the graph dimensions and
 	// both section checksums, so it changes whenever any row pointer or
@@ -78,11 +98,11 @@ type csrSection struct {
 }
 
 // headerBytes serializes the fixed-size header for the given sections.
-func headerBytes(numVertices int, numEdges int64, secs [csrFileSections]csrSection) []byte {
+func headerBytes(numVertices int, numEdges int64, flags uint16, secs [csrFileSections]csrSection) []byte {
 	buf := make([]byte, csrFileHeaderSize)
 	copy(buf[0:4], csrFileMagic[:])
 	binary.LittleEndian.PutUint16(buf[4:6], CSRFileVersion)
-	binary.LittleEndian.PutUint16(buf[6:8], 0) // flags, reserved
+	binary.LittleEndian.PutUint16(buf[6:8], flags)
 	binary.LittleEndian.PutUint64(buf[8:16], uint64(numVertices))
 	binary.LittleEndian.PutUint64(buf[16:24], uint64(numEdges))
 	p := 24
@@ -113,6 +133,10 @@ func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection
 	if want := binary.LittleEndian.Uint32(buf[crcOff:]); headerCRC != want {
 		return info, secs, fmt.Errorf("%w: header checksum mismatch (%#x != %#x)", ErrCorrupt, headerCRC, want)
 	}
+	flags := binary.LittleEndian.Uint16(buf[6:8])
+	if flags&^uint16(csrKnownFlags) != 0 {
+		return info, secs, fmt.Errorf("%w: unsupported header flags %#x", ErrCorrupt, flags)
+	}
 	n := binary.LittleEndian.Uint64(buf[8:16])
 	m := binary.LittleEndian.Uint64(buf[16:24])
 	if n == 0 || n > csrMaxVertices || m > csrMaxEdges {
@@ -129,6 +153,38 @@ func parseHeader(buf []byte) (info CSRFileInfo, secs [csrFileSections]csrSection
 	// in order, directly after the header. The offsets are stored for
 	// tools and forward evolution, and validated here against a crafted
 	// or bit-flipped section table.
+	if flags&csrFlagPartitioned != 0 {
+		// Partitioned layout: section 0 is the partition table (partition
+		// count + fixed-size entries), section 1 the payload. The table
+		// length pins the partition count, and the payload length is fully
+		// determined by V, E, and that count — each partition stores its
+		// vCount+1 row pointers (interval boundaries are duplicated), so
+		// the payload holds (V+P)×u64 row pointers plus E edge records.
+		tl := secs[0].length
+		if secs[0].off != csrFileHeaderSize || tl < 8+csrPartEntryBytes || (tl-8)%csrPartEntryBytes != 0 {
+			return info, secs, fmt.Errorf("%w: partition table geometry inconsistent (len %d)", ErrCorrupt, tl)
+		}
+		nParts := (tl - 8) / csrPartEntryBytes
+		if nParts > n {
+			return info, secs, fmt.Errorf("%w: %d partitions for %d vertices", ErrCorrupt, nParts, n)
+		}
+		wantRow := (n + nParts) * 8
+		wantPayload := wantRow + m*csrEdgeRecBytes
+		if secs[1].off != secs[0].off+tl || secs[1].length != wantPayload {
+			return info, secs, fmt.Errorf("%w: section table inconsistent with V=%d E=%d P=%d", ErrCorrupt, n, m, nParts)
+		}
+		info = CSRFileInfo{
+			Version:       CSRFileVersion,
+			NumVertices:   int(n),
+			NumEdges:      int64(m),
+			RowPtrBytes:   int64(wantRow),
+			EdgeBytes:     int64(m * csrEdgeRecBytes),
+			Partitioned:   true,
+			NumPartitions: int(nParts),
+			ContentHash:   headerCRC,
+		}
+		return info, secs, nil
+	}
 	wantRow := uint64(n+1) * 8
 	wantEdge := m * csrEdgeRecBytes
 	if secs[0].off != csrFileHeaderSize || secs[0].length != wantRow ||
@@ -200,7 +256,7 @@ func WriteCSRFile(path string, g *CSR) (err error) {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if _, err := f.WriteAt(headerBytes(g.NumVertices(), g.NumEdges(), secs), 0); err != nil {
+	if _, err := f.WriteAt(headerBytes(g.NumVertices(), g.NumEdges(), 0, secs), 0); err != nil {
 		return err
 	}
 	return nil
@@ -213,6 +269,12 @@ type BuildOptions struct {
 	// a 32 MiB buffer). Smaller values trade generator replays for
 	// memory.
 	ChunkEdges int64
+	// PartitionEdges, when positive, emits the partitioned layout
+	// (csrpart.go) instead of the flat one: contiguous vertex intervals
+	// holding at most this many edges each (always at least one vertex),
+	// independently checksummed so the out-of-core tier can page one in
+	// without validating the whole file.
+	PartitionEdges int64
 }
 
 // BuildCSRFile generates st directly into the versioned container at path
@@ -245,6 +307,9 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 	for i := 1; i <= n; i++ {
 		rowPtr[i] += rowPtr[i-1]
 	}
+	if opt.PartitionEdges > 0 {
+		return buildPartitionedCSRFile(path, st, rowPtr, m, chunk, opt.PartitionEdges)
+	}
 
 	f, err := os.Create(path)
 	if err != nil {
@@ -271,60 +336,15 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 	secs[0] = csrSection{off: csrFileHeaderSize, length: sw.n, crc: sw.crc}
 
 	sw = &sectionWriter{w: bw}
-	buf := make([]byte, 0, min64(chunk, m)*csrEdgeRecBytes)
-	cursor := make([]int64, 0)
-	for vLo := 0; vLo < n; {
-		// Grow the source range until it would exceed the chunk budget
-		// (always at least one vertex, so a single hub denser than the
-		// budget still builds — with a proportionally larger buffer).
-		vHi := vLo + 1
-		for vHi < n && rowPtr[vHi+1]-rowPtr[vLo] <= chunk {
-			vHi++
-		}
-		base := rowPtr[vLo]
-		span := rowPtr[vHi] - base
-		need := span * csrEdgeRecBytes
-		if int64(cap(buf)) < need {
-			buf = make([]byte, need)
-		} else {
-			buf = buf[:need]
-		}
-		if int64(cap(cursor)) < int64(vHi-vLo) {
-			cursor = make([]int64, vHi-vLo)
-		} else {
-			cursor = cursor[:vHi-vLo]
-			for i := range cursor {
-				cursor[i] = 0
-			}
-		}
-		st.Reset()
-		for {
-			e, ok := st.Next()
-			if !ok {
-				break
-			}
-			if int(e.Src) < vLo || int(e.Src) >= vHi {
-				continue
-			}
-			slot := rowPtr[e.Src] - base + cursor[int(e.Src)-vLo]
-			cursor[int(e.Src)-vLo]++
-			w := e.Weight
-			if w == 0 {
-				w = 1
-			}
-			binary.LittleEndian.PutUint32(buf[slot*csrEdgeRecBytes:], uint32(e.Dst))
-			binary.LittleEndian.PutUint32(buf[slot*csrEdgeRecBytes+4:], w)
-		}
-		if err := sw.write(buf); err != nil {
-			return info, err
-		}
-		vLo = vHi
+	sc := newEdgeScatter(chunk, m)
+	if err := sc.scatter(st, rowPtr, 0, n, sw.write); err != nil {
+		return info, err
 	}
 	secs[1] = csrSection{off: secs[0].off + secs[0].length, length: sw.n, crc: sw.crc}
 	if err := bw.Flush(); err != nil {
 		return info, err
 	}
-	hdr := headerBytes(n, m, secs)
+	hdr := headerBytes(n, m, 0, secs)
 	if _, err := f.WriteAt(hdr, 0); err != nil {
 		return info, err
 	}
@@ -336,6 +356,71 @@ func BuildCSRFile(path string, st EdgeStream, opt BuildOptions) (info CSRFileInf
 		EdgeBytes:   int64(secs[1].length),
 		ContentHash: binary.LittleEndian.Uint32(hdr[csrFileHeaderSize-4:]),
 	}, nil
+}
+
+// edgeScatter holds the reusable chunk buffers of the streaming edge
+// scatter shared by the flat and partitioned builds.
+type edgeScatter struct {
+	chunk  int64
+	buf    []byte
+	cursor []int64
+}
+
+func newEdgeScatter(chunk, totalEdges int64) *edgeScatter {
+	return &edgeScatter{chunk: chunk, buf: make([]byte, 0, min64(chunk, totalEdges)*csrEdgeRecBytes)}
+}
+
+// scatter replays st once per chunk and hands the encoded edge records of
+// sources [vLo, vHi) to emit in row-pointer order. Each chunk covers a
+// contiguous source range holding at most chunk edges (always at least one
+// vertex, so a single hub denser than the budget still builds — with a
+// proportionally larger buffer). Zero stream weights are stored as 1.
+func (sc *edgeScatter) scatter(st EdgeStream, rowPtr []int64, vLo, vHi int, emit func([]byte) error) error {
+	for vLo < vHi {
+		cHi := vLo + 1
+		for cHi < vHi && rowPtr[cHi+1]-rowPtr[vLo] <= sc.chunk {
+			cHi++
+		}
+		base := rowPtr[vLo]
+		span := rowPtr[cHi] - base
+		need := span * csrEdgeRecBytes
+		if int64(cap(sc.buf)) < need {
+			sc.buf = make([]byte, need)
+		} else {
+			sc.buf = sc.buf[:need]
+		}
+		if cap(sc.cursor) < cHi-vLo {
+			sc.cursor = make([]int64, cHi-vLo)
+		} else {
+			sc.cursor = sc.cursor[:cHi-vLo]
+			for i := range sc.cursor {
+				sc.cursor[i] = 0
+			}
+		}
+		st.Reset()
+		for {
+			e, ok := st.Next()
+			if !ok {
+				break
+			}
+			if int(e.Src) < vLo || int(e.Src) >= cHi {
+				continue
+			}
+			slot := rowPtr[e.Src] - base + sc.cursor[int(e.Src)-vLo]
+			sc.cursor[int(e.Src)-vLo]++
+			w := e.Weight
+			if w == 0 {
+				w = 1
+			}
+			binary.LittleEndian.PutUint32(sc.buf[slot*csrEdgeRecBytes:], uint32(e.Dst))
+			binary.LittleEndian.PutUint32(sc.buf[slot*csrEdgeRecBytes+4:], w)
+		}
+		if err := emit(sc.buf); err != nil {
+			return err
+		}
+		vLo = cHi
+	}
+	return nil
 }
 
 // ReadCSR deserializes a versioned container from r, verifying the header
@@ -350,6 +435,9 @@ func ReadCSR(name string, r io.Reader) (*CSR, error) {
 	info, secs, err := parseHeader(hdr)
 	if err != nil {
 		return nil, err
+	}
+	if info.Partitioned {
+		return readPartitionedCSR(name, r, info, secs)
 	}
 	n, m := info.NumVertices, info.NumEdges
 	g := &CSR{

@@ -349,6 +349,17 @@ func FuzzReadCSR(f *testing.F) {
 	binary.LittleEndian.PutUint64(oversized[24+24+8:], m*csrEdgeRecBytes)
 	resealHeader(oversized)
 	f.Add(oversized)
+	// Partitioned-layout seeds park the fuzzer at the partition table and
+	// per-partition slab validation layers: a valid multi-partition
+	// container, one with a flipped table byte, and one truncated inside
+	// the first row slab.
+	part := validPartitionedContainer(f)
+	f.Add(part)
+	partFlip := append([]byte(nil), part...)
+	partFlip[csrFileHeaderSize+8] ^= 0x01
+	f.Add(partFlip)
+	partTableLen := int(binary.LittleEndian.Uint64(part[24+8:]))
+	f.Add(part[:csrFileHeaderSize+partTableLen+5])
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g, err := ReadCSR("fuzz", bytes.NewReader(data))

@@ -70,6 +70,22 @@ func OpenCSRFileMapped(path string) (m *MappedCSR, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if info.Partitioned {
+		// Partitioned payloads cannot alias the mapping — the row
+		// pointers are split into per-interval slabs with duplicated
+		// boundaries — so the graph is decoded into private slices and
+		// the mapping released immediately. The result reports
+		// Mapped() == false: it is a heap copy, exactly like the
+		// non-unix fallback, and operators can tell (service /graphs).
+		g, derr := decodePartitionedPayload(path, data, info, secs)
+		if derr != nil {
+			return nil, derr
+		}
+		if uerr := unmap(data); uerr != nil {
+			return nil, uerr
+		}
+		return &MappedCSR{G: g, Info: info}, nil
+	}
 	end := secs[1].off + secs[1].length
 	if uint64(len(data)) < end {
 		return nil, fmt.Errorf("%w: file truncated at %d bytes, sections end at %d", ErrCorrupt, len(data), end)

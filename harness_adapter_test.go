@@ -45,10 +45,11 @@ func TestEngineAdapters(t *testing.T) {
 	}
 	pg := &nova.PolyGraphBaseline{OnChipBytes: 1 << 12}
 	sw := &nova.Software{Threads: 2}
+	em := &nova.ExternalMemory{RAMBytes: 4 << 10, PartitionEdges: 64}
 
-	engines := []harness.Engine{acc.Engine(), pg.Engine(), sw.Engine()}
-	names := []string{"nova", "polygraph", "ligra"}
-	metricKeys := []string{"cache_hit_rate", "slice_count", "iterations"}
+	engines := []harness.Engine{acc.Engine(), pg.Engine(), sw.Engine(), em.Engine()}
+	names := []string{"nova", "polygraph", "ligra", "extmem"}
+	metricKeys := []string{"cache_hit_rate", "slice_count", "iterations", "partition_loads"}
 	for i, eng := range engines {
 		if eng.Name() != names[i] {
 			t.Fatalf("engine %d name = %q, want %q", i, eng.Name(), names[i])

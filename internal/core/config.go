@@ -118,6 +118,18 @@ type Config struct {
 	CoalesceCapacity int
 	// Spill selects the VMU spilling mechanism.
 	Spill SpillPolicy
+	// OutOfCore arms the SSD-backed third memory tier (DESIGN.md §18):
+	// each PE's off-chip vertex region beyond a resident window of
+	// SSDResidentPages SSD pages lives on the GPN's SSD, and a VMU
+	// recovery read that misses the window pays a page-in through the
+	// device's latency/bandwidth/queue-depth model before its vertex-
+	// channel access issues.
+	OutOfCore bool
+	// SSD times the per-GPN device (zero Name selects the NVMe preset).
+	SSD mem.SSDConfig
+	// SSDResidentPages is the per-PE resident-window capacity in SSD
+	// pages, direct-mapped for determinism.
+	SSDResidentPages int
 	// MaxEvents aborts runaway simulations (0 = default budget).
 	MaxEvents uint64
 	// StallTimeout arms the wall-clock watchdog: if no event executes and
@@ -171,6 +183,8 @@ func DefaultConfig(gpns int) Config {
 		P2P:                 network.DefaultP2PConfig(),
 		Crossbar:            network.DefaultCrossbarConfig(),
 		Spill:               SpillOverwrite,
+		SSD:                 mem.NVMeSSDConfig("ssd"),
+		SSDResidentPages:    1024,
 	}
 }
 
@@ -214,6 +228,14 @@ func (c Config) Validate() error {
 	}
 	if err := c.VertexChannel.Validate(); err != nil {
 		return err
+	}
+	if c.OutOfCore {
+		if c.SSDResidentPages <= 0 {
+			return fmt.Errorf("core: OutOfCore with SSDResidentPages = %d", c.SSDResidentPages)
+		}
+		if err := c.SSD.Validate(); err != nil {
+			return err
+		}
 	}
 	return c.EdgeChannel.Validate()
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"nova/internal/mem"
+	"nova/internal/ref"
+	"nova/program"
+)
+
+// oocConfig shrinks the SSD resident window so a small test graph still
+// spills past it and pays page-in events.
+func oocConfig() Config {
+	cfg := testConfig()
+	cfg.OutOfCore = true
+	cfg.SSD = mem.SSDConfig{Name: "ssd", PageBytes: 256, BytesPerCycle: 0.5, FixedLatency: 500, QueueDepth: 4}
+	cfg.SSDResidentPages = 2
+	return cfg
+}
+
+func TestOutOfCoreBFSCorrectAndCounted(t *testing.T) {
+	g := randGraph(7, 120, 700)
+	root := g.LargestOutDegreeVertex()
+	res := runOn(t, oocConfig(), g, program.NewBFS(root))
+	want := ref.BFS(g, root)
+	got := distsOf(res.Props)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: got %d want %d", v, got[v], want[v])
+		}
+	}
+	if res.PartitionLoads == 0 || res.BytesPaged == 0 {
+		t.Fatalf("out-of-core run paged nothing: loads=%d bytes=%d", res.PartitionLoads, res.BytesPaged)
+	}
+	if res.IOStallTicks == 0 {
+		t.Fatal("page-ins exposed no latency")
+	}
+	bag := res.Dump.Bag()
+	if bag[MetricPartitionLoads] != float64(res.PartitionLoads) {
+		t.Fatalf("dump %s = %v, result %d", MetricPartitionLoads, bag[MetricPartitionLoads], res.PartitionLoads)
+	}
+	if bag[MetricBytesPaged] != float64(res.BytesPaged) || bag[MetricIOStallTicks] != float64(res.IOStallTicks) {
+		t.Fatalf("dump disagrees with result: %v vs %+v", bag, res)
+	}
+
+	// The same run without the SSD tier must be no slower and page nothing.
+	base := runOn(t, testConfig(), g, program.NewBFS(root))
+	if base.PartitionLoads != 0 || base.Dump.Bag()[MetricPartitionLoads] != 0 {
+		t.Fatalf("in-core run recorded page-ins: %d", base.PartitionLoads)
+	}
+	if res.Ticks < base.Ticks {
+		t.Fatalf("paged run finished earlier than in-core: %d < %d", res.Ticks, base.Ticks)
+	}
+}
+
+func TestOutOfCoreDeterministic(t *testing.T) {
+	g := randGraph(21, 100, 600)
+	root := g.LargestOutDegreeVertex()
+	a := runOn(t, oocConfig(), g, program.NewSSSP(root))
+	b := runOn(t, oocConfig(), g, program.NewSSSP(root))
+	if a.Ticks != b.Ticks || a.PartitionLoads != b.PartitionLoads ||
+		a.BytesPaged != b.BytesPaged || a.IOStallTicks != b.IOStallTicks {
+		t.Fatalf("out-of-core runs diverged: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Ticks, a.PartitionLoads, a.BytesPaged, a.IOStallTicks,
+			b.Ticks, b.PartitionLoads, b.BytesPaged, b.IOStallTicks)
+	}
+}
+
+func TestOutOfCoreConfigValidation(t *testing.T) {
+	cfg := oocConfig()
+	cfg.SSDResidentPages = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero resident window accepted")
+	}
+	cfg = oocConfig()
+	cfg.SSD.QueueDepth = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid SSD config accepted")
+	}
+}

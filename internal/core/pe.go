@@ -37,6 +37,10 @@ type PE struct {
 	vchan *mem.Channel
 	cache *mem.Cache
 	vmu   *VMU
+	// ssd is the GPN's shared out-of-core device (nil unless
+	// cfg.OutOfCore): vertex blocks whose SSD page is outside the
+	// resident window pay a page-in before the HBM2 access.
+	ssd *mem.SSD
 
 	// MPU state.
 	inbox       []program.Message

@@ -46,6 +46,13 @@ type Result struct {
 	// VMU aggregates vertex-management statistics across PEs (Table I).
 	VMU VMUStats
 
+	// Out-of-core tier traffic (zero unless cfg.OutOfCore): partition
+	// page-in events issued by the VMUs, their page-rounded volume, and
+	// the SSD latency they exposed (DESIGN.md §18).
+	PartitionLoads uint64
+	BytesPaged     uint64
+	IOStallTicks   sim.Ticks
+
 	// OnChipBytes is the modeled on-chip storage (caches + tracker +
 	// active buffers).
 	OnChipBytes int64
@@ -138,6 +145,9 @@ func (s *System) collectResult() *Result {
 		r.VMU.StaleRetrievals += v.StaleRetrievals
 		r.VMU.BatchHits.Merge(v.BatchHits)
 		r.VMU.MetadataBytes += v.MetadataBytes
+		r.VMU.PageIns += v.PageIns
+		r.VMU.BytesPaged += v.BytesPaged
+		r.VMU.IOStallTicks += v.IOStallTicks
 		if v.FIFOMaxDepth > r.VMU.FIFOMaxDepth {
 			r.VMU.FIFOMaxDepth = v.FIFOMaxDepth
 		}
@@ -148,6 +158,9 @@ func (s *System) collectResult() *Result {
 	if accesses > 0 {
 		r.CacheHitRate = float64(hits) / float64(accesses)
 	}
+	r.PartitionLoads = r.VMU.PageIns
+	r.BytesPaged = r.VMU.BytesPaged
+	r.IOStallTicks = r.VMU.IOStallTicks
 	vertexAggBW := cfg.VertexChannel.BytesPerCycle * float64(cfg.TotalPEs())
 	r.VertexPeakBytes = float64(ticks) * vertexAggBW
 	for _, chans := range s.edgeChans {

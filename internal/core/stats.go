@@ -35,6 +35,9 @@ const (
 	MetricNetworkBytesSaved  = "network_bytes_saved"
 	MetricNetworkAvgHops     = "network_avg_hops"
 	MetricLoadImbalance      = "load_imbalance"
+	MetricPartitionLoads     = "partition_loads"
+	MetricBytesPaged         = "bytes_paged"
+	MetricIOStallTicks       = "io_stall_ticks"
 )
 
 // buildStatsTree registers the whole machine in a stats tree at assembly
@@ -111,6 +114,12 @@ func (s *System) buildStatsTree() {
 	}), MetricNetworkAvgHops, stats.Ratio, "mean inter-GPN links traversed per cross-GPN message")
 	root.Formula(res(func(r *Result) float64 { return r.LoadImbalance() }),
 		MetricLoadImbalance, stats.Ratio, "max per-PE propagations over mean; 1.0 is balanced (Fig. 9b)")
+	root.Formula(res(func(r *Result) float64 { return float64(r.PartitionLoads) }),
+		MetricPartitionLoads, stats.Count, "out-of-core partition page-in events (0 when the graph is DRAM-resident)")
+	root.Formula(res(func(r *Result) float64 { return float64(r.BytesPaged) }),
+		MetricBytesPaged, stats.Bytes, "page-rounded bytes read from the SSD tier")
+	root.Formula(res(func(r *Result) float64 { return float64(r.IOStallTicks) }),
+		MetricIOStallTicks, stats.Cycles, "SSD page-in latency exposed to the VMUs (sum over page-in events)")
 
 	root.Int64(&s.edgesTraversed, "edges_traversed", stats.Count, "edges whose propagate produced or suppressed a message")
 	root.Int64(&s.messagesSent, "messages_sent", stats.Count, "messages generated by the MGUs")
@@ -122,6 +131,9 @@ func (s *System) buildStatsTree() {
 		gg := root.Group(fmt.Sprintf("gpn%d", gpn))
 		for i, ch := range chans {
 			ch.RegisterStats(gg.Group(fmt.Sprintf("edge%d", i)))
+		}
+		if s.ssds != nil {
+			s.ssds[gpn].RegisterStats(gg.Group("ssd"))
 		}
 	}
 	for _, pe := range s.pes {
@@ -141,6 +153,12 @@ func (s *System) buildStatsTree() {
 		vg.Distribution(&u.stats.BatchHits, "batch_hits", stats.Count, "active blocks recovered per completed prefetch batch (tracker precision)")
 		vg.Int(&u.stats.FIFOMaxDepth, "fifo_max_depth", stats.Entries, "high-water mark of the off-chip FIFO")
 		vg.Uint64(&u.stats.MetadataBytes, "metadata_bytes", stats.Bytes, "explicit off-chip metadata written by the spill policy")
+		if s.cfg.OutOfCore {
+			vg.Uint64(&u.stats.PageIns, "page_ins", stats.Count, "vertex-block reads that missed the SSD resident window")
+			vg.Uint64(&u.stats.BytesPaged, "bytes_paged", stats.Bytes, "page-rounded bytes this VMU paged in")
+			vg.Formula(func() float64 { return float64(u.stats.IOStallTicks) },
+				"io_stall_cycles", stats.Cycles, "SSD page-in latency exposed by this VMU's reads")
+		}
 		vg.Histogram(&u.occupancy, "buffer_occupancy", stats.Entries, "active-buffer fill level at each push (linear buckets of 4)")
 		mg := pg.Group("mgu")
 		mg.Int64(&pe.edgesOut, "edges_out", stats.Count, "propagations generated by this PE (load-balance signal)")

@@ -43,6 +43,9 @@ type System struct {
 	slot []int32
 	// edgeChans[gpn] are the DDR4 channels shared by that GPN's PEs.
 	edgeChans [][]*mem.Channel
+	// ssds[gpn] is the GPN's out-of-core paging device (nil slice unless
+	// cfg.OutOfCore). One device per GPN keeps the model shard-local.
+	ssds []*mem.SSD
 
 	// Functional state. The big per-vertex slices are shared across
 	// shards but every index is written only by its owner PE's shard —
@@ -205,6 +208,14 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 		}
 		s.edgeChans[gpn] = chans
 	}
+	if cfg.OutOfCore {
+		s.ssds = make([]*mem.SSD, cfg.GPNs)
+		for gpn := range s.ssds {
+			c := cfg.SSD
+			c.Name = fmt.Sprintf("ssd-g%d", gpn)
+			s.ssds[gpn] = mem.NewSSD(engines[gpn], c)
+		}
+	}
 
 	total := cfg.TotalPEs()
 	s.pes = make([]*PE, total)
@@ -222,6 +233,9 @@ func NewSystem(cfg Config, g *graph.CSR, part *graph.Partition) (*System, error)
 			cache:       mem.NewCache(cfg.CacheBytesPerPE, cfg.BlockBytes),
 			pendingFill: make(map[uint64][]program.Message),
 			sendBuckets: make([][]program.Message, total),
+		}
+		if s.ssds != nil {
+			pe.ssd = s.ssds[gpn]
 		}
 		s.pes[id] = pe
 		s.shards[gpn].pes = append(s.shards[gpn].pes, pe)

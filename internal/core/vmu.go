@@ -3,6 +3,7 @@ package core
 import (
 	"nova/graph"
 	"nova/internal/mem"
+	"nova/internal/sim"
 	"nova/internal/stats"
 )
 
@@ -52,6 +53,16 @@ type VMU struct {
 	// prefetch/refill pipelines never allocate per request.
 	freePrefetch *prefetchTask
 	freeFIFO     *fifoTask
+
+	// Out-of-core tier (DESIGN.md §18): pageTags is the PE's direct-mapped
+	// resident window over SSD pages of its vertex region (-1 = empty).
+	// A recovery read whose page misses the window pays a page-in through
+	// the GPN's SSD before its vertex-channel access issues; a tag marks
+	// the page resident-or-inflight, so concurrent misses to one page ride
+	// the outstanding page-in (an MSHR, in hardware terms). nil when the
+	// tier is disabled.
+	pageTags   []int64
+	freePageIn *pageInTask
 
 	stats VMUStats
 	// occupancy samples the buffer fill level at each push (linear
@@ -127,6 +138,33 @@ func (u *VMU) newFIFOTask(v graph.VertexID) *fifoTask {
 	return t
 }
 
+// pageInTask resumes one recovery read whose page arrived from the SSD.
+type pageInTask struct {
+	u    *VMU
+	bi   int
+	addr uint64
+	next *pageInTask
+}
+
+func (t *pageInTask) Fire() {
+	u, bi, addr := t.u, t.bi, t.addr
+	t.next = u.freePageIn
+	u.freePageIn = t
+	u.issueVertexRead(bi, addr)
+}
+
+func (u *VMU) newPageInTask(bi int, addr uint64) *pageInTask {
+	t := u.freePageIn
+	if t == nil {
+		t = &pageInTask{u: u}
+	} else {
+		u.freePageIn = t.next
+	}
+	t.bi = bi
+	t.addr = addr
+	return t
+}
+
 // VMUStats instruments the trade-offs of Table I.
 type VMUStats struct {
 	// DirectPushes counts FIFO-policy activations that fit in the
@@ -157,6 +195,14 @@ type VMUStats struct {
 	// MetadataBytes is the explicit per-entry metadata the policy needs
 	// off-chip (vertex addresses for the FIFO policy).
 	MetadataBytes uint64
+	// PageIns counts SSD partition page-ins triggered by recovery reads
+	// that missed the resident window (out-of-core tier only), and
+	// BytesPaged the page-rounded volume they moved. IOStallTicks sums
+	// the full page-in delay those reads paid ahead of their
+	// vertex-channel access.
+	PageIns      uint64
+	BytesPaged   uint64
+	IOStallTicks sim.Ticks
 }
 
 func newVMU(pe *PE) *VMU {
@@ -166,7 +212,7 @@ func newVMU(pe *PE) *VMU {
 	if numSB == 0 {
 		numSB = 1
 	}
-	return &VMU{
+	u := &VMU{
 		pe:        pe,
 		counters:  make([]int32, numSB),
 		tracked:   newBitset(numBlocks),
@@ -175,6 +221,13 @@ func newVMU(pe *PE) *VMU {
 		buffer:    make([]uint64, 0, pe.sys.cfg.ActiveBufferEntries),
 		occupancy: stats.Histogram{Width: 4},
 	}
+	if pe.sys.cfg.OutOfCore {
+		u.pageTags = make([]int64, pe.sys.cfg.SSDResidentPages)
+		for i := range u.pageTags {
+			u.pageTags[i] = -1
+		}
+	}
+	return u
 }
 
 func (u *VMU) bufferLen() int  { return len(u.buffer) - u.bufferHead }
@@ -331,12 +384,37 @@ func (u *VMU) nextSuperblock() int {
 func (u *VMU) issueBlockRead(bi int) {
 	cfg := u.pe.sys.cfg
 	addr := uint64(bi) * uint64(cfg.BlockBytes)
+	u.inflightPrefetch++
+	u.stats.PrefetchedBlocks++
+	if d := u.pe.ssd; d != nil {
+		// Out-of-core tier: the block's SSD page must be resident (or
+		// already inbound) before the vertex channel can service the
+		// read. A miss pays the full page-in — this is where NOVA's
+		// spill/recovery path meets realistic storage latency.
+		pageBytes := uint64(d.Config().PageBytes)
+		page := addr / pageBytes
+		slot := page % uint64(len(u.pageTags))
+		if u.pageTags[slot] != int64(page) {
+			u.pageTags[slot] = int64(page)
+			u.stats.PageIns++
+			u.stats.BytesPaged += pageBytes
+			now := u.pe.eng.Now()
+			complete := d.PageIn(page*pageBytes, int(pageBytes), u.newPageInTask(bi, addr))
+			u.stats.IOStallTicks += complete - now
+			return
+		}
+	}
+	u.issueVertexRead(bi, addr)
+}
+
+// issueVertexRead performs the vertex-channel half of a recovery read,
+// once the block is (or has become) DRAM-resident.
+func (u *VMU) issueVertexRead(bi int, addr uint64) {
+	cfg := u.pe.sys.cfg
 	kind := mem.WastefulRead
 	if u.tracked.get(bi) {
 		kind = mem.UsefulRead
 	}
-	u.inflightPrefetch++
-	u.stats.PrefetchedBlocks++
 	u.pe.vchan.Access(mem.Request{
 		Addr:  addr,
 		Bytes: cfg.BlockBytes,

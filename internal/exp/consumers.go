@@ -20,6 +20,9 @@ var MetricConsumers = map[string][]string{
 	nova.MetricNetworkCoalesced:    {"Fig. net"},
 	nova.MetricNetworkBytesSaved:   {"Fig. net"},
 	nova.MetricNetworkAvgHops:      {"Fig. net"},
+	nova.MetricPartitionLoads:      {"Fig. ooc"},
+	nova.MetricBytesPaged:          {"Fig. ooc"},
+	nova.MetricIOStallTicks:        {"Fig. ooc"},
 	nova.MetricSpills:              {"Table I"},
 	nova.MetricSpillWrites:         {"Table I"},
 	nova.MetricStaleRetrievals:     {"Table I"},

@@ -141,7 +141,7 @@ func TestTableRendering(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
-		"fig9a", "fig9b", "fig9c", "fig10", "fignet", "tab1", "tab2", "tab3", "tab4", "tab5"}
+		"fig9a", "fig9b", "fig9c", "fig10", "fignet", "figooc", "tab1", "tab2", "tab3", "tab4", "tab5"}
 	if len(All) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(All), len(want))
 	}
@@ -199,6 +199,29 @@ func TestQuickSimulatedExperiments(t *testing.T) {
 		}
 		if len(tb.Rows) == 0 {
 			t.Fatalf("%s: no rows", id)
+		}
+	}
+}
+
+// TestFigOOCPagesOnEveryCell runs the out-of-core figure end-to-end at
+// small scale and checks that every row records paging work for both
+// engines — the acceptance gate for the SSD tier's instrumentation.
+func TestFigOOCPagesOnEveryCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiments skipped in -short mode")
+	}
+	tb, err := FigOOC(context.Background(), Small, &harness.Pool{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("got %d rows, want 9 (3 workloads x 3 sizes)", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		novaLoads, err1 := strconv.Atoi(row[4])
+		emLoads, err2 := strconv.Atoi(row[7])
+		if err1 != nil || err2 != nil || novaLoads <= 0 || emLoads <= 0 {
+			t.Errorf("row %v: both engines must page (nova=%d extmem=%d)", row, novaLoads, emLoads)
 		}
 	}
 }

@@ -46,6 +46,13 @@ func PGEngineSlices(s Scale, slices int) harness.Engine {
 // LigraEngine returns the software reference engine.
 func LigraEngine() harness.Engine { return (&nova.Software{}).Engine() }
 
+// ExtmemEngine returns the external-memory baseline (PartitionedVC-style
+// interval-at-a-time processing) with an explicit DRAM partition-cache
+// budget and interval edge target; zero values keep the engine defaults.
+func ExtmemEngine(ramBytes, partEdges int64) harness.Engine {
+	return (&nova.ExternalMemory{RAMBytes: ramBytes, PartitionEdges: partEdges}).Engine()
+}
+
 // cell builds the harness.Workload for one (dataset, workload) grid cell,
 // picking the right graph orientation and stamping the scale tier so
 // reports from different tiers are never compared against each other.

@@ -182,6 +182,7 @@ var All = map[string]Runner{
 	"fig9c":  Fig9c,
 	"fig10":  Fig10,
 	"fignet": FigNet,
+	"figooc": FigOOC,
 	"tab1":   Tab1,
 	"tab2":   Tab2,
 	"tab3":   Tab3,

@@ -1,0 +1,172 @@
+package extmem
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"nova/graph"
+	"nova/internal/ref"
+	"nova/program"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	// Small budget and intervals so a 100-vertex test graph still pages.
+	cfg.RAMBytes = 2 << 10
+	cfg.PartitionEdges = 64
+	return cfg
+}
+
+func randGraph(seed int64, n, m int) *graph.CSR {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(rng.Intn(n)),
+			Dst:    graph.VertexID(rng.Intn(n)),
+			Weight: uint32(1 + rng.Intn(8)),
+		}
+	}
+	return graph.FromEdges("rand", n, edges)
+}
+
+func distsOf(props []program.Prop) []int64 {
+	out := make([]int64, len(props))
+	for i, p := range props {
+		if p == program.Inf {
+			out[i] = ref.Unreached
+		} else {
+			out[i] = int64(p)
+		}
+	}
+	return out
+}
+
+func TestExtmemBFSMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randGraph(seed, 120, 700)
+		root := g.LargestOutDegreeVertex()
+		res, err := Run(context.Background(), testConfig(), g, program.NewBFS(root))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.BFS(g, root)
+		got := distsOf(res.Props)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("seed %d vertex %d: got %d want %d", seed, v, got[v], want[v])
+			}
+		}
+		if res.Ticks == 0 || res.Stats.EdgesTraversed == 0 {
+			t.Fatalf("seed %d: no modeled work: %+v", seed, res)
+		}
+	}
+}
+
+func TestExtmemSSSPAndCCMatchOracle(t *testing.T) {
+	g := randGraph(3, 100, 600)
+	root := g.LargestOutDegreeVertex()
+	res, err := Run(context.Background(), testConfig(), g, program.NewSSSP(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.SSSP(g, root)
+	got := distsOf(res.Props)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("sssp vertex %d: got %d want %d", v, got[v], want[v])
+		}
+	}
+	gs := randGraph(5, 150, 400).Symmetrize()
+	res, err = Run(context.Background(), testConfig(), gs, program.NewCC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCC := ref.CC(gs)
+	for v := range wantCC {
+		if int64(res.Props[v]) != wantCC[v] {
+			t.Fatalf("cc vertex %d: label %d, want %d", v, res.Props[v], wantCC[v])
+		}
+	}
+}
+
+func TestExtmemPagingAccounted(t *testing.T) {
+	g := randGraph(9, 200, 2000)
+	root := g.LargestOutDegreeVertex()
+	res, err := Run(context.Background(), testConfig(), g, program.NewBFS(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partitions < 2 {
+		t.Fatalf("expected a multi-partition schedule, got %d", res.Partitions)
+	}
+	if res.PartitionLoads == 0 || res.BytesPaged == 0 || res.IOStallTicks == 0 {
+		t.Fatalf("paging not accounted: %+v", res)
+	}
+	if res.Evictions == 0 {
+		t.Fatalf("tiny RAM budget must evict: %+v", res)
+	}
+	bag := res.Dump.Bag()
+	for name, want := range map[string]float64{
+		MetricPartitionLoads: float64(res.PartitionLoads),
+		MetricBytesPaged:     float64(res.BytesPaged),
+		MetricIOStallTicks:   float64(res.IOStallTicks),
+		MetricCacheHitRate:   res.CacheHitRate,
+	} {
+		if bag[name] != want {
+			t.Errorf("dump %s = %v, result %v", name, bag[name], want)
+		}
+	}
+
+	// A RAM budget that holds the whole graph loads each partition once
+	// and finishes no later.
+	big := testConfig()
+	big.RAMBytes = 1 << 30
+	res2, err := Run(context.Background(), big, g, program.NewBFS(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PartitionLoads != uint64(res2.Partitions) {
+		t.Fatalf("all-resident run loaded %d partitions, want %d", res2.PartitionLoads, res2.Partitions)
+	}
+	if res2.Ticks > res.Ticks {
+		t.Fatalf("bigger cache slower: %d > %d", res2.Ticks, res.Ticks)
+	}
+}
+
+func TestExtmemDeterministic(t *testing.T) {
+	g := randGraph(13, 150, 900)
+	root := g.LargestOutDegreeVertex()
+	a, err := Run(context.Background(), testConfig(), g, program.NewSSSP(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), testConfig(), g, program.NewSSSP(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ticks != b.Ticks || a.PartitionLoads != b.PartitionLoads || a.BytesPaged != b.BytesPaged {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestExtmemRejectsBSP(t *testing.T) {
+	g := randGraph(1, 50, 200)
+	if _, err := Run(context.Background(), testConfig(), g, program.NewPageRank(0.85, 5)); err == nil {
+		t.Fatal("BSP program accepted")
+	}
+}
+
+func TestExtmemCancellation(t *testing.T) {
+	g := randGraph(2, 200, 2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, testConfig(), g, program.NewBFS(g.LargestOutDegreeVertex()))
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res == nil || !res.Partial || res.StopReason == "" {
+		t.Fatalf("cancelled run did not salvage a partial result: %+v", res)
+	}
+}

@@ -31,7 +31,7 @@ const (
 // JobRequest is the POST /jobs body: one sweep cell — engine × workload ×
 // configuration — against a registered graph.
 type JobRequest struct {
-	// Engine is "nova", "polygraph", or "ligra".
+	// Engine is "nova", "polygraph", "ligra", or "extmem".
 	Engine string `json:"engine"`
 	// Workload is "bfs", "sssp", "cc", "pr", "bc", or "prdelta".
 	Workload string `json:"workload"`
@@ -56,6 +56,8 @@ type JobRequest struct {
 	PolyGraph *PolyGraphOptions `json:"polygraph,omitempty"`
 	// Ligra configures the software baseline.
 	Ligra *LigraOptions `json:"ligra,omitempty"`
+	// Extmem configures the external-memory baseline.
+	Extmem *ExtmemOptions `json:"extmem,omitempty"`
 }
 
 // NovaOptions is the JSON view of the nova.Config knobs the service
@@ -73,6 +75,11 @@ type NovaOptions struct {
 	Mapping             string `json:"mapping,omitempty"`
 	Seed                int64  `json:"seed,omitempty"`
 	Shards              int    `json:"shards,omitempty"`
+	// OutOfCore enables the SSD-backed tier; SSDPreset ("nvme"/"sata") and
+	// SSDResidentPages size it (zero values keep the engine defaults).
+	OutOfCore        bool   `json:"out_of_core,omitempty"`
+	SSDPreset        string `json:"ssd_preset,omitempty"`
+	SSDResidentPages int    `json:"ssd_resident_pages,omitempty"`
 }
 
 // PolyGraphOptions configures the temporal-partitioning baseline.
@@ -84,6 +91,14 @@ type PolyGraphOptions struct {
 // LigraOptions configures the software baseline.
 type LigraOptions struct {
 	Threads int `json:"threads,omitempty"`
+}
+
+// ExtmemOptions configures the external-memory baseline (interval-at-a-
+// time partition streaming through a DRAM cache; DESIGN.md §18).
+type ExtmemOptions struct {
+	RAMBytes       int64  `json:"ram_bytes,omitempty"`
+	PartitionEdges int64  `json:"partition_edges,omitempty"`
+	SSDPreset      string `json:"ssd_preset,omitempty"`
 }
 
 // JobStatus is the wire-format view of a job record (GET /jobs/{id} and
@@ -328,6 +343,11 @@ func BuildEngine(req *JobRequest, obs *sim.Interrupt) (harness.Engine, error) {
 				cfg.Seed = o.Seed
 			}
 			cfg.Shards = o.Shards
+			cfg.OutOfCore = o.OutOfCore
+			if o.OutOfCore {
+				cfg.SSDPreset = o.SSDPreset
+				cfg.SSDResidentPages = o.SSDResidentPages
+			}
 		}
 		cfg.Observer = obs
 		acc, err := nova.New(cfg)
@@ -348,6 +368,14 @@ func BuildEngine(req *JobRequest, obs *sim.Interrupt) (harness.Engine, error) {
 			s.Threads = o.Threads
 		}
 		return s.Engine(), nil
+	case "extmem":
+		b := &nova.ExternalMemory{}
+		if o := req.Extmem; o != nil {
+			b.RAMBytes = o.RAMBytes
+			b.PartitionEdges = o.PartitionEdges
+			b.SSDPreset = o.SSDPreset
+		}
+		return b.Engine(), nil
 	default:
 		return nil, fmt.Errorf("service: unknown engine %q", req.Engine)
 	}

@@ -165,6 +165,10 @@ func (s *Server) registerStats() {
 		"graphs", stats.Count, "registered graphs")
 	r.Formula(func() float64 { return float64(s.reg.ResidentBytes()) },
 		"resident_bytes", stats.Bytes, "summed CSR footprint of registered graphs")
+	r.Formula(func() float64 { m, _ := s.reg.MappedCounts(); return float64(m) },
+		"mapped", stats.Count, "graphs served from a live kernel mapping (page-cache backed)")
+	r.Formula(func() float64 { _, u := s.reg.MappedCounts(); return float64(u) },
+		"unmapped", stats.Count, "graphs decoded onto the heap (non-unix fallback, partitioned containers)")
 	s.statsRoot = root
 }
 

@@ -2,6 +2,7 @@ package nova
 
 import (
 	"nova/internal/core"
+	"nova/internal/extmem"
 	"nova/internal/ligra"
 	"nova/internal/polygraph"
 )
@@ -51,4 +52,16 @@ const (
 	// Ligra-style software baseline (ligra engine).
 	MetricIterations  = ligra.MetricIterations
 	MetricWallSeconds = ligra.MetricWallSeconds
+
+	// Out-of-core tier. partition_loads, bytes_paged and io_stall_ticks
+	// are shared between the NOVA engine's SSD spill path and the
+	// external-memory baseline (extmem engine), which is what lets the
+	// spill/recovery figure stack them side by side; the remaining keys
+	// belong to the extmem engine's DRAM partition cache.
+	MetricPartitionLoads = core.MetricPartitionLoads
+	MetricBytesPaged     = core.MetricBytesPaged
+	MetricIOStallTicks   = core.MetricIOStallTicks
+	MetricComputeCycles  = extmem.MetricComputeCycles
+	MetricPartitions     = extmem.MetricPartitions
+	MetricEvictions      = extmem.MetricEvictions
 )

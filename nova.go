@@ -21,6 +21,7 @@ import (
 	"nova/graph"
 	"nova/internal/core"
 	"nova/internal/harness"
+	"nova/internal/mem"
 	"nova/internal/network"
 	"nova/internal/ref"
 	"nova/internal/sim"
@@ -59,6 +60,16 @@ type Config struct {
 	// CoalesceCapacity bounds buffered message entries per destination PE
 	// while a coalescing window is open (0 = network default, 64).
 	CoalesceCapacity int
+	// OutOfCore enables the SSD-backed third memory tier (DESIGN.md §18):
+	// vertex blocks whose SSD page falls outside each PE's resident
+	// window pay a modeled page-in before the HBM2 access.
+	OutOfCore bool
+	// SSDPreset picks the out-of-core device timing: "nvme" (default) or
+	// "sata". Ignored unless OutOfCore is set.
+	SSDPreset string
+	// SSDResidentPages sizes each PE's DRAM-resident window in SSD pages
+	// (0 = core default, 1024). Ignored unless OutOfCore is set.
+	SSDResidentPages int
 	// Mapping selects spatial vertex placement: "random" (default),
 	// "interleave", "load-balanced", or "locality" (Fig. 9b).
 	Mapping string
@@ -147,6 +158,22 @@ func (c Config) coreConfig() (core.Config, error) {
 	}
 	cc.CoalesceWindow = sim.Ticks(c.CoalesceWindow)
 	cc.CoalesceCapacity = c.CoalesceCapacity
+	if c.OutOfCore {
+		cc.OutOfCore = true
+		switch c.SSDPreset {
+		case "", "nvme":
+			cc.SSD = mem.NVMeSSDConfig("ssd")
+		case "sata":
+			cc.SSD = mem.SATASSDConfig("ssd")
+		default:
+			return cc, fmt.Errorf("nova: unknown SSD preset %q", c.SSDPreset)
+		}
+		if c.SSDResidentPages > 0 {
+			cc.SSDResidentPages = c.SSDResidentPages
+		}
+	} else if c.SSDPreset != "" || c.SSDResidentPages != 0 {
+		return cc, fmt.Errorf("nova: SSD options set without OutOfCore")
+	}
 	return cc, nil
 }
 
@@ -229,6 +256,12 @@ type Report struct {
 	NetworkAvgHops           float64
 	// LoadImbalance is max(per-PE propagations)/mean (1.0 = balanced).
 	LoadImbalance float64
+	// Out-of-core tier traffic (all zero unless Config.OutOfCore):
+	// partition page-in events, their page-rounded volume, and the SSD
+	// latency they exposed, in cycles.
+	PartitionLoads uint64
+	BytesPaged     uint64
+	IOStallCycles  uint64
 	// Shards is the worker-goroutine count the run executed with;
 	// Windows counts conservative synchronization windows, and the two
 	// wall-clock fields split host time between in-window execution and
@@ -322,6 +355,9 @@ func reportFromCore(res *core.Result) *Report {
 		NetworkBytesSaved:        res.Net.BytesSaved,
 		NetworkAvgHops:           avgHops(res),
 		LoadImbalance:            res.LoadImbalance(),
+		PartitionLoads:           res.PartitionLoads,
+		BytesPaged:               res.BytesPaged,
+		IOStallCycles:            uint64(res.IOStallTicks),
 		Shards:                   res.Shards,
 		Windows:                  res.Windows,
 		WindowWallSeconds:        res.WindowWallSeconds,
@@ -417,11 +453,17 @@ func (e novaEngine) Name() string { return "nova" }
 
 func (e novaEngine) Fingerprint() string {
 	c := e.acc.cfg
-	return fmt.Sprintf("nova{gpns=%d pes=%d cache=%d sbdim=%d abuf=%d spill=%s fabric=%s topo=%s coalesce=%d/%d mapping=%s seed=%d}",
+	fp := fmt.Sprintf("nova{gpns=%d pes=%d cache=%d sbdim=%d abuf=%d spill=%s fabric=%s topo=%s coalesce=%d/%d mapping=%s seed=%d}",
 		c.GPNs, c.PEsPerGPN, c.CacheBytesPerPE, c.SuperblockDim, c.ActiveBufferEntries,
 		orDefault(c.Spill, "overwrite"), orDefault(c.Fabric, "hierarchical"),
 		orDefault(c.Topology, "crossbar"), c.CoalesceWindow, c.CoalesceCapacity,
 		orDefault(c.Mapping, "random"), c.Seed)
+	if c.OutOfCore {
+		// Appended only when the tier is on, so every pre-existing
+		// in-core fingerprint (and its cache entries) stays unchanged.
+		fp += fmt.Sprintf("+ooc{ssd=%s resident=%d}", orDefault(c.SSDPreset, "nvme"), c.SSDResidentPages)
+	}
+	return fp
 }
 
 func orDefault(s, def string) string {

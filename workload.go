@@ -19,9 +19,10 @@ var WorkloadNames = []string{"bfs", "sssp", "cc", "pr", "bc"}
 // delta PageRank keeps a large fraction of vertices simultaneously
 // active, so on the large scale tier it drives the VMU's spill/recovery
 // machinery far harder than the traversal workloads do. It runs on the
-// nova engine only — the software baseline has no generic asynchronous
-// executor, and PolyGraph's temporal slicing degenerates when every
-// vertex stays active (both reject it with an explanatory error).
+// nova and extmem engines — the software baseline has no generic
+// asynchronous executor, and PolyGraph's temporal slicing degenerates
+// when every vertex stays active (both reject it with an explanatory
+// error).
 const SpillStressWorkload = "prdelta"
 
 // Outcome is the engine-agnostic result of running one workload through a
